@@ -1,0 +1,29 @@
+//! Regenerates the §7.2.2 optimization ablation (saturation throughput
+//! at each optimization rung) and benchmarks one load point per rung.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_lab::fig4::{run_point, Fig4Config, Scenario};
+
+fn ablation(c: &mut Criterion) {
+    bench::banner("S7.2.2: optimization ablation (paper vs measured)");
+    let cfg = Fig4Config::fifo_quick();
+    wave_lab::fig4::ablation_report(&cfg).print();
+
+    let mut point_cfg = Fig4Config::fifo_quick();
+    point_cfg.duration = wave_sim::SimTime::from_ms(40);
+    point_cfg.warmup = wave_sim::SimTime::from_ms(5);
+    c.bench_function("wave16_fifo_point_200k", |b| {
+        b.iter(|| black_box(run_point(&point_cfg, Scenario::Wave16, 200_000.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = ablation
+}
+criterion_main!(benches);

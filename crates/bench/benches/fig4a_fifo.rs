@@ -1,0 +1,39 @@
+//! Regenerates Fig. 4a (FIFO latency/throughput, three scenarios) and
+//! benchmarks the simulation kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_lab::fig4::{run_curve, run_point, Fig4Config, Scenario};
+
+fn fig4a(c: &mut Criterion) {
+    bench::banner("Fig. 4a: FIFO scheduling (paper vs measured)");
+    let cfg = Fig4Config::fifo_quick();
+    wave_lab::fig4::report(&cfg).print();
+
+    // Print the latency-throughput series (the figure's lines).
+    let loads: Vec<f64> = (1..=8).map(|i| i as f64 * 100_000.0).collect();
+    for scenario in [Scenario::OnHost16, Scenario::Wave15, Scenario::Wave16] {
+        let curve = run_curve(&cfg, scenario, &loads);
+        println!("series: {}", curve.label);
+        for p in &curve.points {
+            println!("  {:>8.1} kreq/s  p99 {:>8.2} us", p.x, p.y);
+        }
+    }
+
+    let mut point_cfg = Fig4Config::fifo_quick();
+    point_cfg.duration = wave_sim::SimTime::from_ms(40);
+    point_cfg.warmup = wave_sim::SimTime::from_ms(5);
+    c.bench_function("fig4a_onhost_point_400k", |b| {
+        b.iter(|| black_box(run_point(&point_cfg, Scenario::OnHost16, 400_000.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = fig4a
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates Fig. 5 (VM scheduling: turbo + tick interference) and
+//! benchmarks the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_lab::fig5::{curves, run, Fig5Config};
+
+fn fig5(c: &mut Criterion) {
+    bench::banner("Fig. 5: VM scheduling, no-ticks vs ticks (paper vs measured)");
+    let cfg = Fig5Config::paper();
+    wave_lab::fig5::report(&cfg).print();
+
+    let (wave, onhost) = curves(&cfg);
+    println!("series: {} / {}", wave.label, onhost.label);
+    for n in [1usize, 16, 31, 48, 64, 96, 128] {
+        let w = wave.points[n - 1].y;
+        let h = onhost.points[n - 1].y;
+        println!(
+            "  {n:>3} vCPUs: wave {w:>6.3}  on-host {h:>6.3}  (+{:.1}%)",
+            (w / h - 1.0) * 100.0
+        );
+    }
+
+    c.bench_function("fig5_full_sweep", |b| b.iter(|| black_box(run(&cfg))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates Fig. 6a (RPC placement scenarios, single-queue Shinjuku)
+//! and benchmarks a scenario point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_lab::fig6::{run_point, Fig6Config};
+use wave_rpc::Fig6Scenario;
+
+fn fig6a(c: &mut Criterion) {
+    bench::banner("Fig. 6a: RPC single-queue Shinjuku (paper vs measured)");
+    let cfg = Fig6Config::single_queue_quick();
+    wave_lab::fig6::report(&cfg).print();
+
+    let mut point_cfg = Fig6Config::single_queue_quick();
+    point_cfg.duration = wave_sim::SimTime::from_ms(60);
+    point_cfg.warmup = wave_sim::SimTime::from_ms(10);
+    c.bench_function("fig6a_offload_all_point_80k", |b| {
+        b.iter(|| black_box(run_point(&point_cfg, Fig6Scenario::OffloadAll, 80_000.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = fig6a
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Cross-cutting mechanism microbenchmarks: queue push/poll, transaction
+//! round trips, and the DES engine itself. These are the library's own
+//! performance counters rather than paper artifacts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_core::{ChannelConfig, MsixMode, OptLevel, WaveChannel};
+use wave_pcie::Interconnect;
+use wave_sim::{Sim, SimTime};
+
+fn mechanisms(c: &mut Criterion) {
+    bench::banner("mechanism microbenchmarks");
+
+    c.bench_function("des_engine_1k_events", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new();
+            for i in 0..1_000u64 {
+                sim.schedule(SimTime::from_ns(i), |m: &mut u64, _| *m += 1);
+            }
+            let mut model = 0u64;
+            sim.run(&mut model);
+            black_box(model)
+        })
+    });
+
+    c.bench_function("channel_message_decision_round_trip", |b| {
+        let mut ic = Interconnect::pcie();
+        let mut ch: WaveChannel<u64, u64> =
+            WaveChannel::create(&mut ic, ChannelConfig::mmio(OptLevel::full()));
+        let mut table = wave_core::GenerationTable::new();
+        table.insert(1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10_000;
+            let now = SimTime::from_ns(t);
+            ch.send_messages(now, &mut ic, [1u64]).unwrap();
+            let polled = ch.poll_messages(now + SimTime::from_us(1), &mut ic, 8);
+            let target = table.snapshot(1).unwrap();
+            let txn = ch.txn_create(target, 7);
+            let out = ch
+                .txns_commit(now + SimTime::from_us(2), &mut ic, [txn], MsixMode::Skip)
+                .unwrap();
+            ch.invalidate_txns(now + SimTime::from_us(3), &mut ic, 1);
+            let got = ch.poll_txns(now + SimTime::from_us(3), &mut ic, 8);
+            black_box((polled.items.len(), out.visible_at, got.items.len()))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = mechanisms
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates the §7.4.2 RocksDB footprint-reduction result (−79% after
+//! three epochs) and benchmarks the epoch loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_lab::mem::{run_footprint, FootprintExperiment};
+
+fn sol_footprint(c: &mut Criterion) {
+    bench::banner("S7.4.2: SOL effect on RocksDB footprint (paper vs measured)");
+    wave_lab::mem::footprint_report(&FootprintExperiment::quick()).print();
+
+    let mut cfg = FootprintExperiment::quick();
+    cfg.get_samples = 20_000;
+    c.bench_function("sol_three_epoch_convergence", |b| {
+        b.iter(|| black_box(run_footprint(&cfg)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = sol_footprint
+}
+criterion_main!(benches);

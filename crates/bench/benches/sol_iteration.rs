@@ -1,0 +1,43 @@
+//! Regenerates the §7.4.2 SOL iteration-duration table and benchmarks
+//! the policy iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_kvstore::{AccessPattern, DbFootprint, FootprintConfig};
+use wave_memmgr::{SolConfig, SolPolicy};
+use wave_sim::SimTime;
+
+fn sol_iter(c: &mut Criterion) {
+    bench::banner("S7.4.2: SOL per-iteration durations (paper vs measured)");
+    wave_lab::mem::duration_report().print();
+
+    let fp = DbFootprint::new(FootprintConfig::paper(0.01), AccessPattern::Scattered, 7);
+    c.bench_function("sol_iterate_20k_batches", |b| {
+        let mut policy = SolPolicy::new(SolConfig::paper(), fp.batches());
+        let mut rng = wave_sim::rng(3);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 600;
+            black_box(policy.iterate(SimTime::from_ms(t), &fp, &mut rng))
+        })
+    });
+
+    c.bench_function("sol_parallel_classify_8_threads", |b| {
+        let posteriors: Vec<(f64, f64)> = (0..40_000)
+            .map(|i| if i % 5 == 0 { (20.0, 2.0) } else { (2.0, 20.0) })
+            .collect();
+        b.iter(|| {
+            black_box(wave_memmgr::runner::parallel_classify(&posteriors, 0.5, 8, 11))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = sol_iter
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates paper Table 2 (hardware microbenchmarks) and benchmarks
+//! the MMIO model's fast paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_pcie::{Interconnect, LineAddr, PteType};
+use wave_sim::SimTime;
+
+fn table2(c: &mut Criterion) {
+    bench::banner("Table 2: hardware microbenchmarks (paper vs measured)");
+    wave_lab::table2::report().print();
+
+    let mut ic = Interconnect::pcie();
+    let region = ic.mmio.map_region(PteType::WriteThrough, 64);
+    let mut t = 0u64;
+    c.bench_function("mmio_wt_read_hit_path", |b| {
+        b.iter(|| {
+            t += 1_000;
+            let out = ic.mmio.read(SimTime::from_ns(t), LineAddr::new(region, 1));
+            black_box(out.cpu)
+        })
+    });
+
+    let mut ic = Interconnect::pcie();
+    let wc = ic.mmio.map_region(PteType::WriteCombining, 64);
+    c.bench_function("mmio_wc_write_and_fence", |b| {
+        b.iter(|| {
+            t += 1_000;
+            let w = ic.mmio.write(SimTime::from_ns(t), LineAddr::new(wc, 2), 4);
+            let f = ic.mmio.sfence(SimTime::from_ns(t));
+            black_box((w.cpu, f.cpu))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = table2
+}
+criterion_main!(benches);

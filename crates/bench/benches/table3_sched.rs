@@ -1,0 +1,33 @@
+//! Regenerates paper Table 3 (scheduling microbenchmarks) and benchmarks
+//! the single-decision paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_core::OptLevel;
+use wave_ghost::microbench::{context_switch, open_decision};
+use wave_ghost::sim::Placement;
+
+fn table3(c: &mut Criterion) {
+    bench::banner("Table 3: scheduling microbenchmarks (paper vs measured)");
+    wave_lab::table3::report().print();
+
+    c.bench_function("open_decision_offloaded_full", |b| {
+        b.iter(|| black_box(open_decision(Placement::Offloaded, OptLevel::full())))
+    });
+    c.bench_function("context_switch_offloaded_full", |b| {
+        b.iter(|| black_box(context_switch(Placement::Offloaded, OptLevel::full())))
+    });
+    c.bench_function("context_switch_onhost_prestaged", |b| {
+        b.iter(|| black_box(context_switch(Placement::OnHost, OptLevel::full())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = table3
+}
+criterion_main!(benches);

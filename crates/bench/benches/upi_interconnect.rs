@@ -1,0 +1,35 @@
+//! Regenerates the §7.3.3 coherent-interconnect emulation and benchmarks
+//! coherent-mode reads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_pcie::{Interconnect, LineAddr, PteType};
+use wave_sim::SimTime;
+
+fn upi(c: &mut Criterion) {
+    bench::banner("S7.3.3: UPI emulation (paper vs measured)");
+    wave_lab::upi::report(&wave_lab::upi::UpiConfig::quick()).print();
+
+    let mut ic = Interconnect::coherent_upi();
+    let region = ic.mmio.map_region(PteType::WriteBack, 64);
+    let mut t = 0u64;
+    c.bench_function("coherent_read_with_invalidation", |b| {
+        b.iter(|| {
+            t += 1_000;
+            let addr = LineAddr::new(region, (t / 1_000) % 64);
+            ic.mmio.note_device_write(addr, SimTime::from_ns(t));
+            let out = ic.mmio.read(SimTime::from_ns(t + 500), addr);
+            black_box(out.cpu)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = upi
+}
+criterion_main!(benches);

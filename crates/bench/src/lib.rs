@@ -1,0 +1,27 @@
+//! # bench — table/figure regeneration harness
+//!
+//! Each Criterion bench in `benches/` regenerates one table or figure of
+//! the Wave paper: it prints the *paper vs. measured* report (so `cargo
+//! bench` output doubles as the reproduction record) and then benchmarks
+//! a representative kernel of that experiment so Criterion has a stable
+//! measurement target.
+//!
+//! | Bench | Artifact |
+//! |---|---|
+//! | `table2_hw` | Table 2 — hardware microbenchmarks |
+//! | `table3_sched` | Table 3 — scheduling microbenchmarks |
+//! | `ablation_opts` | §7.2.2 — optimization ladder |
+//! | `fig4a_fifo` | Fig. 4a — FIFO scheduling |
+//! | `fig4b_shinjuku` | Fig. 4b — Shinjuku scheduling |
+//! | `fig5_vm` | Fig. 5 — VM scheduling vs. ticks |
+//! | `fig6a_rpc` | Fig. 6a — RPC single-queue scenarios |
+//! | `fig6b_rpc_slo` | Fig. 6b — RPC multi-queue SLO scenarios |
+//! | `upi_interconnect` | §7.3.3 — UPI emulation |
+//! | `sol_iteration` | §7.4.2 — SOL iteration durations |
+//! | `sol_footprint` | §7.4.2 — RocksDB footprint reduction |
+//! | `mechanisms` | cross-cutting mechanism microbenchmarks |
+
+/// Prints a banner so reports stand out in `cargo bench` output.
+pub fn banner(name: &str) {
+    println!("\n================ {name} ================");
+}

@@ -1,0 +1,198 @@
+//! SmartNIC agent lifecycle and compute accounting.
+//!
+//! A Wave agent is a userspace process on the SmartNIC that polls its
+//! message queue, runs a policy, and commits transactions (Fig. 2). In
+//! the simulation an agent is a *serial state machine*: all of its work
+//! advances a `busy_until` clock, scaled for the ARM core it occupies.
+//! That serialization is what creates agent-side queueing under load —
+//! the paper's reason for partitioning hosts across multiple agents (§6).
+
+use wave_sim::cpu::{CoreClass, CpuModel, WorkloadClass};
+use wave_sim::SimTime;
+
+/// Identifier of a Wave agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AgentId(pub u32);
+
+/// Lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentState {
+    /// Started and polling.
+    Running,
+    /// Killed by `KILL_WAVE_AGENT` or the watchdog.
+    Killed,
+    /// Crashed (fault injection in tests).
+    Crashed,
+}
+
+/// A running agent: placement plus a serial compute clock.
+#[derive(Debug, Clone)]
+pub struct Agent {
+    id: AgentId,
+    state: AgentState,
+    core: CoreClass,
+    cpu: CpuModel,
+    busy_until: SimTime,
+    decisions: u64,
+    last_decision_at: SimTime,
+}
+
+impl Agent {
+    /// Starts an agent on `core` (the Table 1 `START_WAVE_AGENT`).
+    pub fn start(id: AgentId, core: CoreClass, cpu: CpuModel) -> Self {
+        Agent {
+            id,
+            state: AgentState::Running,
+            core,
+            cpu,
+            busy_until: SimTime::ZERO,
+            decisions: 0,
+            last_decision_at: SimTime::ZERO,
+        }
+    }
+
+    /// The agent's id.
+    pub fn id(&self) -> AgentId {
+        self.id
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> AgentState {
+        self.state
+    }
+
+    /// Whether the agent is alive and polling.
+    pub fn is_running(&self) -> bool {
+        self.state == AgentState::Running
+    }
+
+    /// Which core class the agent occupies.
+    pub fn core(&self) -> CoreClass {
+        self.core
+    }
+
+    /// Kills the agent (`KILL_WAVE_AGENT`, also used by the watchdog).
+    pub fn kill(&mut self) {
+        self.state = AgentState::Killed;
+    }
+
+    /// Simulates an agent crash (fault injection).
+    pub fn crash(&mut self) {
+        self.state = AgentState::Crashed;
+    }
+
+    /// Restarts a dead agent; per §6 ("keep fault recovery simple") the
+    /// restarted agent re-pulls all non-policy state from the host, so it
+    /// starts from a clean compute clock.
+    pub fn restart(&mut self, now: SimTime) {
+        self.state = AgentState::Running;
+        self.busy_until = now;
+    }
+
+    /// When the agent can next accept work.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Runs `host_cost` worth of `class` work starting no earlier than
+    /// `now`, serialized behind prior work. Returns the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent is not running.
+    pub fn run(&mut self, now: SimTime, class: WorkloadClass, host_cost: SimTime) -> SimTime {
+        assert!(self.is_running(), "agent {:?} is not running", self.id);
+        let start = now.max(self.busy_until);
+        let cost = self.cpu.cost(self.core, class, host_cost);
+        self.busy_until = start + cost;
+        self.busy_until
+    }
+
+    /// Runs `cost` of *pre-scaled* work (e.g. SoC access costs that are
+    /// already expressed in NIC nanoseconds) starting no earlier than
+    /// `now`, serialized behind prior work. Returns the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent is not running.
+    pub fn run_raw(&mut self, now: SimTime, cost: SimTime) -> SimTime {
+        assert!(self.is_running(), "agent {:?} is not running", self.id);
+        let start = now.max(self.busy_until);
+        self.busy_until = start + cost;
+        self.busy_until
+    }
+
+    /// Records that a decision was produced at `at` (feeds the
+    /// watchdog's liveness view and telemetry).
+    pub fn record_decision(&mut self, at: SimTime) {
+        self.decisions += 1;
+        self.last_decision_at = at;
+    }
+
+    /// Decisions produced so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Timestamp of the most recent decision.
+    pub fn last_decision_at(&self) -> SimTime {
+        self.last_decision_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agent_on(core: CoreClass) -> Agent {
+        Agent::start(AgentId(0), core, CpuModel::mount_evans())
+    }
+
+    #[test]
+    fn work_serializes() {
+        let mut a = agent_on(CoreClass::HostX86);
+        let t1 = a.run(SimTime::ZERO, WorkloadClass::ComputeBound, SimTime::from_ns(100));
+        assert_eq!(t1, SimTime::from_ns(100));
+        // Submitted "at 0" but the agent is busy until 100.
+        let t2 = a.run(SimTime::ZERO, WorkloadClass::ComputeBound, SimTime::from_ns(50));
+        assert_eq!(t2, SimTime::from_ns(150));
+    }
+
+    #[test]
+    fn nic_agent_is_slower_for_compute() {
+        let mut host = agent_on(CoreClass::HostX86);
+        let mut nic = agent_on(CoreClass::NicArm);
+        let th = host.run(SimTime::ZERO, WorkloadClass::ComputeBound, SimTime::from_us(1));
+        let tn = nic.run(SimTime::ZERO, WorkloadClass::ComputeBound, SimTime::from_us(1));
+        assert_eq!(th, SimTime::from_us(1));
+        assert_eq!(tn, SimTime::from_ns(2_080));
+    }
+
+    #[test]
+    fn kill_and_restart() {
+        let mut a = agent_on(CoreClass::NicArm);
+        a.kill();
+        assert_eq!(a.state(), AgentState::Killed);
+        a.restart(SimTime::from_ms(5));
+        assert!(a.is_running());
+        let t = a.run(SimTime::from_ms(5), WorkloadClass::MemoryBound, SimTime::from_ns(100));
+        assert!(t >= SimTime::from_ms(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not running")]
+    fn dead_agent_rejects_work() {
+        let mut a = agent_on(CoreClass::NicArm);
+        a.crash();
+        let _ = a.run(SimTime::ZERO, WorkloadClass::ComputeBound, SimTime::from_ns(1));
+    }
+
+    #[test]
+    fn decision_telemetry() {
+        let mut a = agent_on(CoreClass::NicArm);
+        a.record_decision(SimTime::from_us(3));
+        a.record_decision(SimTime::from_us(9));
+        assert_eq!(a.decisions(), 2);
+        assert_eq!(a.last_decision_at(), SimTime::from_us(9));
+    }
+}

@@ -1,0 +1,470 @@
+//! The Wave channel: the queue triple behind the Table 1 API.
+//!
+//! A [`WaveChannel`] connects one host-side system-software component to
+//! its SmartNIC agent:
+//!
+//! * a **message queue** (host→NIC) carrying kernel state updates,
+//! * a **transaction queue** (NIC→host) carrying staged decisions,
+//! * an **outcome queue** (host→NIC) reporting commit results.
+//!
+//! Method names follow Table 1 (`send_messages` = `SEND_MESSAGES`, ...).
+//! Every method returns the CPU time it costs its caller, so experiment
+//! simulations account for the full communication overhead.
+
+use wave_pcie::{DmaMode, Interconnect, MsixDelivery, MsixSendPath, MsixVector, PteType, SocPteMode};
+use wave_queue::{Direction, PollOutcome, PushError, Transport, WaveQueue};
+use wave_sim::SimTime;
+
+use crate::opts::OptLevel;
+use crate::txn::{Txn, TxnId, TxnOutcomeRecord};
+
+/// Whether a commit kicks the host with an MSI-X (the paper's
+/// `TXNS_COMMIT(q, send/skip msi-x)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsixMode {
+    /// Send an MSI-X to the given host core's vector.
+    Send(MsixVector),
+    /// Skip the interrupt: the host polls (used by the RPC stack to
+    /// sustain throughput, §4.3).
+    Skip,
+}
+
+/// Result of `txns_commit` on the NIC side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitOutcome {
+    /// NIC CPU time spent staging + committing.
+    pub cpu: SimTime,
+    /// When the staged transactions are visible to the host.
+    pub visible_at: SimTime,
+    /// The interrupt, if one was sent.
+    pub msix: Option<MsixDelivery>,
+}
+
+/// Configuration for a channel's three queues.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// Capacity of each queue in entries.
+    pub capacity: u64,
+    /// 64-bit words per message entry.
+    pub message_words: u64,
+    /// 64-bit words per transaction entry.
+    pub txn_words: u64,
+    /// Transport for the message queue.
+    pub message_transport: Transport,
+    /// Transport for the transaction queue.
+    pub txn_transport: Transport,
+    /// Optimization level (drives PTE choices).
+    pub opts: OptLevel,
+}
+
+impl ChannelConfig {
+    /// µs-scale configuration used by the thread scheduler and RPC stack:
+    /// MMIO queues, one-line entries.
+    pub fn mmio(opts: OptLevel) -> Self {
+        ChannelConfig {
+            capacity: 1024,
+            message_words: 4,
+            txn_words: 8,
+            message_transport: Transport::Mmio,
+            txn_transport: Transport::Mmio,
+            opts,
+        }
+    }
+
+    /// Throughput-oriented configuration used by the memory manager:
+    /// asynchronous DMA in both directions (§4.2).
+    pub fn dma(opts: OptLevel) -> Self {
+        ChannelConfig {
+            capacity: 1 << 16,
+            message_words: 8,
+            txn_words: 8,
+            message_transport: Transport::Dma(DmaMode::Async),
+            txn_transport: Transport::Dma(DmaMode::Async),
+            opts,
+        }
+    }
+}
+
+/// A host↔agent channel carrying messages of type `M` and decisions of
+/// type `D`.
+#[derive(Debug)]
+pub struct WaveChannel<M, D> {
+    messages: WaveQueue<M>,
+    txns: WaveQueue<Txn<D>>,
+    outcomes: WaveQueue<TxnOutcomeRecord>,
+    cfg: ChannelConfig,
+    next_txn: u64,
+    /// Host core this channel's MSI-X vector targets
+    /// (`ASSOC_QUEUE_WITH`).
+    vector: MsixVector,
+}
+
+impl<M, D> WaveChannel<M, D> {
+    /// Creates the channel and maps its queues (`CREATE_QUEUE` ×3 +
+    /// `SET_QUEUE_TYPE`).
+    pub fn create(ic: &mut Interconnect, cfg: ChannelConfig) -> Self {
+        let soc = cfg.opts.soc_pte();
+        let messages = WaveQueue::new(
+            ic,
+            Direction::HostToNic,
+            cfg.message_transport,
+            cfg.capacity,
+            cfg.message_words,
+            cfg.opts.message_queue_pte(),
+            soc,
+        );
+        let txns = WaveQueue::new(
+            ic,
+            Direction::NicToHost,
+            cfg.txn_transport,
+            cfg.capacity,
+            cfg.txn_words,
+            cfg.opts.decision_queue_pte(),
+            soc,
+        );
+        let outcomes = WaveQueue::new(
+            ic,
+            Direction::HostToNic,
+            cfg.message_transport,
+            cfg.capacity,
+            2,
+            cfg.opts.message_queue_pte(),
+            soc,
+        );
+        WaveChannel {
+            messages,
+            txns,
+            outcomes,
+            cfg,
+            next_txn: 0,
+            vector: MsixVector(0),
+        }
+    }
+
+    /// Associates the channel's decision path with a host core's MSI-X
+    /// vector (`ASSOC_QUEUE_WITH`).
+    pub fn assoc_queue_with(&mut self, vector: MsixVector) {
+        self.vector = vector;
+    }
+
+    /// The associated MSI-X vector.
+    pub fn vector(&self) -> MsixVector {
+        self.vector
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> ChannelConfig {
+        self.cfg
+    }
+
+    /// Direct access to the underlying queues (telemetry/tests).
+    pub fn queues(&self) -> (&WaveQueue<M>, &WaveQueue<Txn<D>>, &WaveQueue<TxnOutcomeRecord>) {
+        (&self.messages, &self.txns, &self.outcomes)
+    }
+
+    // --- Host API -------------------------------------------------------
+
+    /// `SEND_MESSAGES`: pushes a batch and flushes, so the agent will see
+    /// it. Returns host CPU cost and the visibility time. Messages that
+    /// do not fit are returned as the error's payload count.
+    pub fn send_messages(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        batch: impl IntoIterator<Item = M>,
+    ) -> Result<(SimTime, SimTime), PushError> {
+        let mut cpu = SimTime::ZERO;
+        let mut pushed = 0u64;
+        for msg in batch {
+            match self.messages.push(now + cpu, ic, msg) {
+                Ok(out) => {
+                    cpu += out.cpu;
+                    pushed += 1;
+                }
+                Err(rejected) => {
+                    // Try a credit refresh once; the queue is sized so
+                    // this is rare.
+                    cpu += self.messages.sync_credits(now + cpu, ic);
+                    match self.messages.push(now + cpu, ic, rejected.payload) {
+                        Ok(out) => {
+                            cpu += out.cpu;
+                            pushed += 1;
+                        }
+                        Err(r) => return Err(r.error),
+                    }
+                }
+            }
+        }
+        let _ = pushed;
+        cpu += self.messages.flush(now + cpu, ic);
+        Ok((cpu, now + cpu + ic.one_way()))
+    }
+
+    /// `PREFETCH_TXNS` (§5.4): prefetches the next decision's line so the
+    /// upcoming `poll_txns` hits the cache.
+    pub fn prefetch_txns(&mut self, now: SimTime, ic: &mut Interconnect) -> SimTime {
+        self.txns.prefetch_head(now, ic)
+    }
+
+    /// `POLL_TXNS`: drains staged transactions (host side).
+    pub fn poll_txns(&mut self, now: SimTime, ic: &mut Interconnect, max: usize) -> PollOutcome<Txn<D>> {
+        self.txns.poll_host(now, ic, max)
+    }
+
+    /// The host's MSI-X handler half of the §5.3.2 software coherence
+    /// protocol: flush the stale cached view of the next `entries`
+    /// decisions, so the following `poll_txns` refetches fresh data.
+    pub fn invalidate_txns(&mut self, now: SimTime, ic: &mut Interconnect, entries: u64) -> SimTime {
+        self.txns.invalidate_head(now, ic, entries)
+    }
+
+    /// `SET_TXNS_OUTCOMES`: reports commit results back to the agent.
+    pub fn set_txns_outcomes(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        outcomes: impl IntoIterator<Item = TxnOutcomeRecord>,
+    ) -> SimTime {
+        let mut cpu = SimTime::ZERO;
+        for rec in outcomes {
+            if let Ok(out) = self.outcomes.push(now + cpu, ic, rec) {
+                cpu += out.cpu;
+            }
+        }
+        cpu += self.outcomes.flush(now + cpu, ic);
+        cpu
+    }
+
+    // --- SmartNIC API ----------------------------------------------------
+
+    /// `POLL_MESSAGES`: the agent drains kernel state updates.
+    pub fn poll_messages(&mut self, now: SimTime, ic: &mut Interconnect, max: usize) -> PollOutcome<M> {
+        self.messages.poll_nic(now, ic, max)
+    }
+
+    /// `TXN_CREATE`: allocates a transaction around a decision.
+    pub fn txn_create(&mut self, target: crate::txn::ResourceRef, decision: D) -> Txn<D> {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        Txn { id, target, decision }
+    }
+
+    /// `TXNS_COMMIT`: stages a batch of transactions into the decision
+    /// queue, flushes, and optionally kicks the host.
+    pub fn txns_commit(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        txns: impl IntoIterator<Item = Txn<D>>,
+        msix: MsixMode,
+    ) -> Result<CommitOutcome, PushError> {
+        let mut cpu = SimTime::ZERO;
+        for txn in txns {
+            match self.txns.push(now + cpu, ic, txn) {
+                Ok(out) => cpu += out.cpu,
+                Err(rejected) => {
+                    cpu += self.txns.sync_credits(now + cpu, ic);
+                    match self.txns.push(now + cpu, ic, rejected.payload) {
+                        Ok(out) => cpu += out.cpu,
+                        Err(r) => return Err(r.error),
+                    }
+                }
+            }
+        }
+        cpu += self.txns.flush(now + cpu, ic);
+        let visible_at = now + cpu + ic.one_way();
+        let msix = match msix {
+            MsixMode::Send(vector) => {
+                let d = ic.msix.send(
+                    now + cpu,
+                    vector,
+                    MsixSendPath::Ioctl,
+                    wave_pcie::config::Side::Nic,
+                );
+                cpu += d.sender_cpu;
+                Some(d)
+            }
+            MsixMode::Skip => {
+                ic.msix.suppress();
+                None
+            }
+        };
+        Ok(CommitOutcome { cpu, visible_at, msix })
+    }
+
+    /// `POLL_TXNS_OUTCOMES`: the agent learns which commits succeeded.
+    pub fn poll_txns_outcomes(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        max: usize,
+    ) -> PollOutcome<TxnOutcomeRecord> {
+        self.outcomes.poll_nic(now, ic, max)
+    }
+
+    /// `DESTROY_QUEUE` ×3: drops all queue state. (The MMIO regions stay
+    /// mapped in the model; nothing references them afterwards.)
+    pub fn destroy(self) {}
+
+    /// Reconfigures the host PTE types for a new optimization level
+    /// (`SET_QUEUE_TYPE`): used by ablations that flip a single lever
+    /// mid-experiment.
+    pub fn set_queue_type(&mut self, ic: &mut Interconnect, opts: OptLevel) {
+        self.cfg.opts = opts;
+        ic.mmio.set_pte(self.messages.region(), opts.message_queue_pte());
+        ic.mmio.set_pte(self.txns.region(), opts.decision_queue_pte());
+        ic.mmio.set_pte(self.outcomes.region(), opts.message_queue_pte());
+    }
+
+    /// Host PTE type currently used by the decision queue.
+    pub fn decision_pte(&self, ic: &Interconnect) -> PteType {
+        ic.mmio.pte(self.txns.region())
+    }
+
+    /// SoC mapping mode in force.
+    pub fn soc_pte(&self) -> SocPteMode {
+        self.cfg.opts.soc_pte()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::{GenerationTable, TxnOutcome};
+
+    type Chan = WaveChannel<u64, u64>;
+
+    fn chan(ic: &mut Interconnect, opts: OptLevel) -> Chan {
+        WaveChannel::create(ic, ChannelConfig::mmio(opts))
+    }
+
+    #[test]
+    fn round_trip_message_to_decision() {
+        let mut ic = Interconnect::pcie();
+        let mut ch = chan(&mut ic, OptLevel::full());
+        let mut table = GenerationTable::new();
+        table.insert(7);
+
+        // Host: thread 7 blocked -> message to agent.
+        let (_cpu, visible) = ch
+            .send_messages(SimTime::ZERO, &mut ic, [7u64])
+            .expect("queue has room");
+
+        // Agent: polls after visibility, decides, commits with MSI-X.
+        let polled = ch.poll_messages(visible, &mut ic, 16);
+        assert_eq!(polled.items, vec![7]);
+        let target = table.snapshot(7).unwrap();
+        let txn = ch.txn_create(target, 1234u64);
+        let commit = ch
+            .txns_commit(
+                visible + polled.cpu,
+                &mut ic,
+                [txn],
+                MsixMode::Send(MsixVector(0)),
+            )
+            .expect("room");
+        let delivery = commit.msix.expect("interrupt sent");
+
+        // Host IRQ handler: flush stale cache, poll, validate, enforce.
+        let t = delivery.handler_at;
+        ch.invalidate_txns(t, &mut ic, 1);
+        let txns = ch.poll_txns(t, &mut ic, 16);
+        assert_eq!(txns.items.len(), 1);
+        let got = txns.items[0];
+        assert_eq!(got.decision, 1234);
+        assert_eq!(table.validate(got.target), TxnOutcome::Committed);
+
+        // Host reports the outcome; agent sees it.
+        ch.set_txns_outcomes(
+            t,
+            &mut ic,
+            [TxnOutcomeRecord {
+                id: got.id,
+                outcome: TxnOutcome::Committed,
+            }],
+        );
+        let outcomes = ch.poll_txns_outcomes(t + SimTime::from_us(2), &mut ic, 16);
+        assert_eq!(outcomes.items.len(), 1);
+        assert!(outcomes.items[0].outcome.is_committed());
+    }
+
+    #[test]
+    fn txn_ids_are_unique_and_ordered() {
+        let mut ic = Interconnect::pcie();
+        let mut ch = chan(&mut ic, OptLevel::full());
+        let r = crate::txn::ResourceRef { resource: 1, generation: 0 };
+        let a = ch.txn_create(r, 1);
+        let b = ch.txn_create(r, 2);
+        assert!(a.id < b.id);
+    }
+
+    #[test]
+    fn skip_msix_suppresses_interrupt() {
+        let mut ic = Interconnect::pcie();
+        let mut ch = chan(&mut ic, OptLevel::full());
+        let r = crate::txn::ResourceRef { resource: 1, generation: 0 };
+        let txn = ch.txn_create(r, 9);
+        let out = ch
+            .txns_commit(SimTime::ZERO, &mut ic, [txn], MsixMode::Skip)
+            .unwrap();
+        assert!(out.msix.is_none());
+        assert_eq!(ic.msix.suppressed(), 1);
+        assert_eq!(ic.msix.sent(), 0);
+    }
+
+    #[test]
+    fn unoptimized_poll_is_much_slower() {
+        let mut ic_base = Interconnect::pcie();
+        let mut ch_base = chan(&mut ic_base, OptLevel::none());
+        let mut ic_full = Interconnect::pcie();
+        let mut ch_full = chan(&mut ic_full, OptLevel::full());
+
+        for (ch, ic) in [(&mut ch_base, &mut ic_base), (&mut ch_full, &mut ic_full)] {
+            let r = crate::txn::ResourceRef { resource: 1, generation: 0 };
+            let txn = ch.txn_create(r, 5);
+            ch.txns_commit(SimTime::ZERO, ic, [txn], MsixMode::Skip).unwrap();
+        }
+        // Optimized host: prefetch then poll (hits cache).
+        ch_full.prefetch_txns(SimTime::from_us(1), &mut ic_full);
+        let fast = ch_full.poll_txns(SimTime::from_us(3), &mut ic_full, 1);
+        let slow = ch_base.poll_txns(SimTime::from_us(3), &mut ic_base, 1);
+        assert_eq!(fast.items.len(), 1);
+        assert_eq!(slow.items.len(), 1);
+        assert!(
+            fast.cpu.as_ns() * 10 < slow.cpu.as_ns(),
+            "fast {} vs slow {}",
+            fast.cpu,
+            slow.cpu
+        );
+    }
+
+    #[test]
+    fn assoc_vector() {
+        let mut ic = Interconnect::pcie();
+        let mut ch = chan(&mut ic, OptLevel::full());
+        ch.assoc_queue_with(MsixVector(5));
+        assert_eq!(ch.vector(), MsixVector(5));
+    }
+
+    #[test]
+    fn set_queue_type_switches_ptes() {
+        let mut ic = Interconnect::pcie();
+        let mut ch = chan(&mut ic, OptLevel::none());
+        assert_eq!(ch.decision_pte(&ic), PteType::Uncacheable);
+        ch.set_queue_type(&mut ic, OptLevel::full());
+        assert_eq!(ch.decision_pte(&ic), PteType::WriteThrough);
+    }
+
+    #[test]
+    fn dma_channel_round_trip() {
+        let mut ic = Interconnect::pcie();
+        let mut ch: WaveChannel<u64, u64> =
+            WaveChannel::create(&mut ic, ChannelConfig::dma(OptLevel::full()));
+        let (_cpu, _vis) = ch
+            .send_messages(SimTime::ZERO, &mut ic, (0..1000).collect::<Vec<u64>>())
+            .unwrap();
+        let done = ic.dma.busy_until();
+        let polled = ch.poll_messages(done, &mut ic, 2000);
+        assert_eq!(polled.items.len(), 1000);
+    }
+}

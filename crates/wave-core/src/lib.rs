@@ -1,0 +1,44 @@
+//! # wave-core — the Wave offload API
+//!
+//! This crate implements the host↔SmartNIC API of the paper's Table 1:
+//!
+//! ```text
+//! Shared:   START_WAVE_AGENT, KILL_WAVE_AGENT
+//! Queues:   CREATE_QUEUE, DESTROY_QUEUE, ASSOC_QUEUE_WITH, SET_QUEUE_TYPE
+//! Messages: SEND_MESSAGES (host)            | POLL_MESSAGES (NIC)
+//! Txns:     PREFETCH_TXNS, POLL_TXNS (host) | TXN_CREATE, TXNS_COMMIT (NIC)
+//! Outcomes: SET_TXNS_OUTCOMES (host)        | POLL_TXNS_OUTCOMES (NIC)
+//! ```
+//!
+//! The key semantic — inherited from ghOSt and made *more* important by
+//! the PCIe latency — is that agent decisions are **committed atomically
+//! as transactions**: every transaction names its target resource and the
+//! generation of that resource the agent observed; the host kernel
+//! validates the generation at enforcement time and cleanly fails the
+//! transaction if the resource changed or died in the meantime (e.g. "an
+//! agent attempts to update page table entries for an application that
+//! simultaneously exits", §3.2).
+//!
+//! Layout:
+//!
+//! * [`channel`] — [`channel::WaveChannel`], the queue triple (messages,
+//!   transactions, outcomes) with the Table 1 operations.
+//! * [`txn`] — transactions, outcomes, and the host-side
+//!   [`txn::GenerationTable`] used for atomic validation.
+//! * [`agent`] — SmartNIC agent lifecycle and its serial compute clock.
+//! * [`watchdog`] — the per-component on-host watchdog (§3.3: kill an
+//!   agent that has made no decision for >20 ms).
+//! * [`opts`] — the optimization toggles of §5.3/§5.4, used by every
+//!   ablation in the evaluation.
+
+pub mod agent;
+pub mod channel;
+pub mod opts;
+pub mod txn;
+pub mod watchdog;
+
+pub use agent::{Agent, AgentId, AgentState};
+pub use channel::{ChannelConfig, CommitOutcome, MsixMode, WaveChannel};
+pub use opts::OptLevel;
+pub use txn::{GenerationTable, ResourceRef, Txn, TxnId, TxnOutcome, TxnOutcomeRecord};
+pub use watchdog::Watchdog;

@@ -1,0 +1,43 @@
+//! # wave-ghost — the kernel thread-scheduling substrate
+//!
+//! The paper offloads *ghOSt* — Linux's userspace-delegated scheduling
+//! class — to SmartNIC agents (§4.1). This crate rebuilds that substrate
+//! on the Wave stack:
+//!
+//! * [`msg`] — the thread-lifecycle message stream the kernel sends the
+//!   agent (created/wakeup/blocked/yield/dead), as in ghOSt.
+//! * [`policy`] — the policy trait an agent runs, plus thread metadata
+//!   (service estimates, SLO classes).
+//! * [`policies`] — the paper's four ported policies: FIFO
+//!   run-to-completion, Shinjuku (30 µs preemption), multi-queue
+//!   Shinjuku (per-SLO queues, §7.3.2) and the GCE VM policy
+//!   (Tableau-style quanta, §7.2.4).
+//! * [`slots`] — per-core decision slots in SmartNIC DRAM (the paper's
+//!   Fig. 2 "Core 0 Queue / Core 1 Queue"), supporting prestaging,
+//!   prefetching and the software coherence protocol.
+//! * [`cost`] — the calibrated host-side cost model (kernel context
+//!   switch, event bookkeeping, commit path).
+//! * [`sim`] — the end-to-end scheduling simulation behind Figures 4a/4b
+//!   and the §7.2.2 ablation: an open-loop load generator, worker cores,
+//!   a serial agent (on host or NIC), and the full Wave communication
+//!   path.
+//! * [`microbench`] — the single-decision-path measurements of Table 3.
+//!
+//! The same simulation code runs every scenario; only the
+//! [`Placement`](sim::Placement) (host vs. NIC agent) and
+//! [`OptLevel`](wave_core::OptLevel) differ — the paper's
+//! "apples-to-apples" methodology.
+
+pub mod cost;
+pub mod microbench;
+pub mod msg;
+pub mod policies;
+pub mod policy;
+pub mod sim;
+pub mod slots;
+
+pub use cost::CostModel;
+pub use msg::{CpuId, SchedMsg, SchedMsgKind, Tid};
+pub use policy::{SchedPolicy, SloClass, ThreadMeta};
+pub use sim::{Placement, SchedConfig, SchedReport, SchedSim, ServiceMix};
+pub use slots::{DecisionSlots, SlotDecision};

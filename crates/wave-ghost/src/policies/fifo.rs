@@ -1,0 +1,83 @@
+//! Run-to-completion FIFO (§7.2.2).
+
+use std::collections::VecDeque;
+
+use wave_sim::SimTime;
+
+use crate::msg::Tid;
+use crate::policy::{SchedPolicy, ThreadMeta};
+
+/// The paper's first ported ghOSt policy: a run-to-completion FIFO.
+///
+/// "We chose this policy because it requires little compute but interacts
+/// extensively with the workload, stressing Wave's API and PCIe queues
+/// and making the cost of offload clear."
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    queue: VecDeque<Tid>,
+}
+
+impl FifoPolicy {
+    /// Creates an empty FIFO policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SchedPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn on_runnable(&mut self, _now: SimTime, tid: Tid, _meta: ThreadMeta) {
+        self.queue.push_back(tid);
+    }
+
+    fn on_removed(&mut self, _now: SimTime, tid: Tid) {
+        self.queue.retain(|&t| t != tid);
+    }
+
+    fn pick_next(&mut self, _now: SimTime) -> Option<Tid> {
+        self.queue.pop_front()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn compute_cost(&self) -> SimTime {
+        SimTime::from_ns(100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut p = FifoPolicy::new();
+        for i in 0..3 {
+            p.on_runnable(SimTime::ZERO, Tid(i), ThreadMeta::at(SimTime::ZERO));
+        }
+        assert_eq!(p.queue_depth(), 3);
+        assert_eq!(p.pick_next(SimTime::ZERO), Some(Tid(0)));
+        assert_eq!(p.pick_next(SimTime::ZERO), Some(Tid(1)));
+        assert_eq!(p.pick_next(SimTime::ZERO), Some(Tid(2)));
+        assert_eq!(p.pick_next(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn removal_drops_queued_thread() {
+        let mut p = FifoPolicy::new();
+        p.on_runnable(SimTime::ZERO, Tid(1), ThreadMeta::at(SimTime::ZERO));
+        p.on_runnable(SimTime::ZERO, Tid(2), ThreadMeta::at(SimTime::ZERO));
+        p.on_removed(SimTime::ZERO, Tid(1));
+        assert_eq!(p.pick_next(SimTime::ZERO), Some(Tid(2)));
+    }
+
+    #[test]
+    fn no_time_slice() {
+        assert!(FifoPolicy::new().time_slice().is_none());
+    }
+}

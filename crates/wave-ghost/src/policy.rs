@@ -1,0 +1,93 @@
+//! The scheduling-policy interface agents run.
+//!
+//! A policy is pure decision logic: it consumes runnability updates and
+//! produces "run thread T next" picks. All communication, staging, and
+//! commit machinery lives outside the policy, which is exactly what makes
+//! ghOSt policies portable between host userspace and the SmartNIC
+//! (§4.1: "the communication patterns are the same as in ghOSt").
+
+use wave_sim::SimTime;
+
+use crate::msg::Tid;
+
+/// Service-level-objective class of a request/thread (used by the
+/// multi-queue Shinjuku policy of §7.3.2; carried in the RPC payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SloClass(pub u8);
+
+impl SloClass {
+    /// The default class for workloads without SLO annotations.
+    pub const DEFAULT: SloClass = SloClass(0);
+}
+
+/// Scheduler-relevant metadata about a thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadMeta {
+    /// When the underlying request arrived (for queueing-delay-aware
+    /// policies).
+    pub arrival: SimTime,
+    /// SLO class, if the workload carries one.
+    pub slo: SloClass,
+}
+
+impl ThreadMeta {
+    /// Metadata with only an arrival time.
+    pub fn at(arrival: SimTime) -> Self {
+        ThreadMeta {
+            arrival,
+            slo: SloClass::DEFAULT,
+        }
+    }
+}
+
+/// A scheduling policy, as run inside a Wave agent.
+///
+/// Implementations must be deterministic: the experiment harness relies
+/// on replayability.
+pub trait SchedPolicy {
+    /// Human-readable policy name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// A thread became runnable (created, woke, or was preempted).
+    fn on_runnable(&mut self, now: SimTime, tid: Tid, meta: ThreadMeta);
+
+    /// A thread blocked or died; forget it.
+    fn on_removed(&mut self, now: SimTime, tid: Tid);
+
+    /// Picks the next thread to run, removing it from the run queue.
+    fn pick_next(&mut self, now: SimTime) -> Option<Tid>;
+
+    /// Number of runnable-but-unscheduled threads.
+    fn queue_depth(&self) -> usize;
+
+    /// The preemption time slice, or `None` for run-to-completion.
+    fn time_slice(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Host-reference CPU cost of one policy invocation (scaled by the
+    /// agent's core class). Simple queue policies are cheap; ML policies
+    /// are not.
+    fn compute_cost(&self) -> SimTime {
+        SimTime::from_ns(150)
+    }
+
+    /// Whether the policy wants to eagerly prestage decisions when the
+    /// run queue is deep (§5.4 "the scheduler eagerly prestages decisions
+    /// when the run queue length is sufficiently deep").
+    fn wants_prestaging(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_default_slo() {
+        let m = ThreadMeta::at(SimTime::from_us(5));
+        assert_eq!(m.slo, SloClass::DEFAULT);
+        assert_eq!(m.arrival, SimTime::from_us(5));
+    }
+}

@@ -1,0 +1,1007 @@
+//! The end-to-end scheduling simulation (Figures 4a/4b, §7.2.2 ablation).
+//!
+//! One simulation covers every scenario of §7.2:
+//!
+//! * **On-Host** — the agent spins on a dedicated host core; queues live
+//!   in coherent host DRAM ([`wave_pcie::PcieConfig::host_local`]).
+//! * **Offloaded** — the agent spins on a SmartNIC ARM core; every
+//!   message, decision, and interrupt crosses the PCIe model with
+//!   whatever [`OptLevel`] the experiment selects.
+//!
+//! The flow is the paper's Fig. 2: thread events send messages to the
+//! agent; the agent runs the policy and stages decisions in per-core
+//! slots; the host consumes them on idle transitions (prestaged path) or
+//! after an MSI-X (idle/preemption path); commits are validated against
+//! the kernel's generation table.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use wave_core::txn::{GenerationTable, TxnId};
+use wave_core::{Agent, AgentId, OptLevel};
+use wave_pcie::{Interconnect, MsixSendPath, MsixVector, PcieConfig};
+use wave_queue::{Direction, Transport, WaveQueue};
+use wave_sim::cpu::{CoreClass, CpuModel, WorkloadClass};
+use wave_sim::dist::Exp;
+use wave_sim::stats::{Histogram, Summary};
+use wave_sim::{Sim, SimTime};
+
+use crate::cost::CostModel;
+use crate::msg::{CpuId, SchedMsg, SchedMsgKind, Tid};
+use crate::policy::{SchedPolicy, SloClass, ThreadMeta};
+use crate::slots::{DecisionSlots, SlotDecision};
+
+/// Where the agent runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Agent on a dedicated host core, shared-memory communication (the
+    /// on-host ghOSt baseline).
+    OnHost,
+    /// Agent on a SmartNIC ARM core, across the interconnect.
+    Offloaded,
+}
+
+/// One component of the request service-time mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixEntry {
+    /// Relative weight (probabilities are normalized).
+    pub weight: f64,
+    /// CPU service time of the request.
+    pub service: SimTime,
+    /// SLO class tag (used by multi-queue Shinjuku).
+    pub slo: SloClass,
+}
+
+/// The request service-time mix of the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMix {
+    /// Mix components.
+    pub entries: Vec<MixEntry>,
+}
+
+impl ServiceMix {
+    /// 100% 10 µs GET requests (Fig. 4a).
+    pub fn gets_10us() -> Self {
+        ServiceMix {
+            entries: vec![MixEntry {
+                weight: 1.0,
+                service: SimTime::from_us(10),
+                slo: SloClass(0),
+            }],
+        }
+    }
+
+    /// The paper's dispersive mix: 99.5% 10 µs GETs and 0.5% 10 ms RANGE
+    /// queries (Figs. 4b and 6).
+    pub fn paper_bimodal() -> Self {
+        ServiceMix {
+            entries: vec![
+                MixEntry {
+                    weight: 0.995,
+                    service: SimTime::from_us(10),
+                    slo: SloClass(0),
+                },
+                MixEntry {
+                    weight: 0.005,
+                    service: SimTime::from_ms(10),
+                    slo: SloClass(1),
+                },
+            ],
+        }
+    }
+
+    /// Mean service time of the mix.
+    pub fn mean_service(&self) -> SimTime {
+        let total_w: f64 = self.entries.iter().map(|e| e.weight).sum();
+        let mean_ns: f64 = self
+            .entries
+            .iter()
+            .map(|e| e.weight / total_w * e.service.as_ns() as f64)
+            .sum();
+        SimTime::from_ns(mean_ns as u64)
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> (SimTime, SloClass) {
+        use rand::Rng;
+        let total_w: f64 = self.entries.iter().map(|e| e.weight).sum();
+        let mut u: f64 = rng.random::<f64>() * total_w;
+        for e in &self.entries {
+            if u < e.weight {
+                return (e.service, e.slo);
+            }
+            u -= e.weight;
+        }
+        let last = self.entries.last().expect("mix is non-empty");
+        (last.service, last.slo)
+    }
+}
+
+/// An RPC-style ingress stage in front of the scheduler (Fig. 6).
+///
+/// Models the RPC stack: `stack_cores` parallel cores (host x86 or NIC
+/// ARM) each spending `per_rpc` (host-reference) of protocol processing
+/// per request before the scheduler learns about it. Worker cores pay
+/// `worker_receive`/`worker_respond` per request for moving the RPC
+/// payload across whatever memory separates them from the stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngressConfig {
+    /// Parallel RPC-stack cores.
+    pub stack_cores: u32,
+    /// Where the stack runs (drives the ARM slowdown).
+    pub stack_core: CoreClass,
+    /// Host-reference CPU cost per RPC (TCP + RPC protocol work).
+    pub per_rpc: SimTime,
+    /// Wire + NIC hardware delay before stack processing.
+    pub network_delay: SimTime,
+    /// Worker-side cost to receive the RPC (e.g. MMIO reads of the
+    /// request payload when the stack is on the SmartNIC).
+    pub worker_receive: SimTime,
+    /// Worker-side cost to post the response.
+    pub worker_respond: SimTime,
+}
+
+/// Scheduling-experiment configuration.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Number of worker cores running request threads.
+    pub workers: u32,
+    /// Agent placement.
+    pub placement: Placement,
+    /// Wave optimization level (ignored mappings for on-host).
+    pub opts: OptLevel,
+    /// Kernel-path cost constants.
+    pub cost: CostModel,
+    /// CPU model (NIC ratios, frequency scaling).
+    pub cpu: CpuModel,
+    /// Workload mix.
+    pub mix: ServiceMix,
+    /// Offered load in requests/second (open loop, Poisson).
+    pub offered: f64,
+    /// Total simulated duration.
+    pub duration: SimTime,
+    /// Warmup period excluded from statistics.
+    pub warmup: SimTime,
+    /// RNG seed.
+    pub seed: u64,
+    /// Drop arrivals beyond this many queued + running requests
+    /// (overload safety for open-loop sweeps).
+    pub max_outstanding: usize,
+    /// Interconnect for the offloaded case (PCIe by default; the §7.3.3
+    /// experiment swaps in the coherent config).
+    pub interconnect: PcieConfig,
+    /// Optional RPC ingress stage (Fig. 6).
+    pub ingress: Option<IngressConfig>,
+    /// Extra per-decision agent cost, e.g. the OnHost-Schedule scenario's
+    /// uncached MMIO reads of RPC headers living in SmartNIC memory.
+    pub agent_decision_extra: SimTime,
+}
+
+impl SchedConfig {
+    /// A Fig. 4a-shaped default: `workers` cores, FIFO-ready, 10 µs GETs.
+    pub fn new(workers: u32, placement: Placement, opts: OptLevel) -> Self {
+        SchedConfig {
+            workers,
+            placement,
+            opts,
+            cost: CostModel::calibrated(),
+            cpu: CpuModel::mount_evans(),
+            mix: ServiceMix::gets_10us(),
+            offered: 100_000.0,
+            duration: SimTime::from_ms(500),
+            warmup: SimTime::from_ms(50),
+            seed: 42,
+            max_outstanding: 20_000,
+            interconnect: PcieConfig::pcie(),
+            ingress: None,
+            agent_decision_extra: SimTime::ZERO,
+        }
+    }
+}
+
+/// Results of one load point.
+#[derive(Debug, Clone)]
+pub struct SchedReport {
+    /// Offered load (req/s).
+    pub offered: f64,
+    /// Achieved throughput (completions/s within the measured window).
+    pub achieved: f64,
+    /// Request latency summary (arrival → completion).
+    pub latency: Summary,
+    /// Completions within the measured window.
+    pub completed: u64,
+    /// Arrivals dropped by the overload guard.
+    pub dropped: u64,
+    /// Host slot-read hits/misses (prestage effectiveness).
+    pub prestage_hits: u64,
+    /// Host slot-read misses.
+    pub prestage_misses: u64,
+    /// MSI-X interrupts sent.
+    pub msix_sent: u64,
+    /// Decisions the agent produced.
+    pub agent_decisions: u64,
+    /// Diagnostic counters (kick/commit pathology analysis).
+    pub diag: Diag,
+}
+
+/// Diagnostic counters for the scheduling paths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Diag {
+    /// MSI-X wakeups whose slot read found a decision.
+    pub wakeup_hit: u64,
+    /// MSI-X wakeups whose slot read found nothing.
+    pub wakeup_miss: u64,
+    /// Transactions that failed validation.
+    pub commit_fail: u64,
+    /// Idle transitions that found a prestaged decision.
+    pub complete_hit: u64,
+    /// Idle transitions that found nothing.
+    pub complete_miss: u64,
+    /// Agent pump invocations.
+    pub pumps: u64,
+    /// Agent-side slice expiries that staged a preemption.
+    pub preempt_staged: u64,
+    /// Slice expiries with no replacement (thread continued).
+    pub preempt_extend: u64,
+    /// Preemption IRQs that switched threads.
+    pub preempt_switch: u64,
+    /// Requests still outstanding at the end of the run.
+    pub outstanding_at_end: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ThreadRun {
+    Runnable,
+    Running(CpuId),
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ThreadState {
+    remaining: SimTime,
+    arrival: SimTime,
+    slo: SloClass,
+    run: ThreadRun,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CoreState {
+    /// Idle; `waiting` means the agent owes this core an MSI-X wakeup.
+    Idle { waiting: bool },
+    /// Running a thread; the token invalidates stale preempt events.
+    Busy { tid: Tid, token: u64 },
+}
+
+/// The scheduling simulation model. Drive it with [`SchedSim::run`].
+pub struct SchedSim {
+    cfg: SchedConfig,
+    ic: Interconnect,
+    agent: Agent,
+    policy: Box<dyn SchedPolicy>,
+    slots: DecisionSlots,
+    msg_q: WaveQueue<SchedMsg>,
+    gen: GenerationTable,
+    threads: HashMap<u64, ThreadState>,
+    cores: Vec<CoreState>,
+    rng: SmallRng,
+    inter_arrival: Exp,
+    next_tid: u64,
+    next_txn: u64,
+    run_token: u64,
+    outstanding: usize,
+    lat: Histogram,
+    completed_measured: u64,
+    dropped: u64,
+    agent_pump_scheduled: bool,
+    agent_core: CoreClass,
+    offloaded: bool,
+    diag: Diag,
+    stack_busy: Vec<SimTime>,
+}
+
+type S = Sim<SchedSim>;
+
+impl SchedSim {
+    /// Builds the model for a configuration and policy.
+    pub fn new(cfg: SchedConfig, policy: Box<dyn SchedPolicy>) -> Self {
+        let (pcfg, agent_core, offloaded) = match cfg.placement {
+            Placement::OnHost => (PcieConfig::host_local(), CoreClass::HostX86, false),
+            Placement::Offloaded => (cfg.interconnect.clone(), CoreClass::NicArm, true),
+        };
+        let mut ic = Interconnect::new(pcfg);
+        let msg_q = WaveQueue::new(
+            &mut ic,
+            Direction::HostToNic,
+            Transport::Mmio,
+            4096,
+            cfg.cost.msg_words,
+            cfg.opts.message_queue_pte(),
+            cfg.opts.soc_pte(),
+        );
+        let slots = DecisionSlots::new(
+            &mut ic,
+            cfg.workers,
+            cfg.cost.decision_words,
+            cfg.opts.decision_queue_pte(),
+            cfg.opts.soc_pte(),
+        );
+        let agent = Agent::start(AgentId(0), agent_core, cfg.cpu);
+        let inter_arrival = Exp::new(cfg.offered / 1e9); // events per ns
+        let rng = wave_sim::rng(cfg.seed);
+        SchedSim {
+            cores: vec![CoreState::Idle { waiting: true }; cfg.workers as usize],
+            ic,
+            agent,
+            policy,
+            slots,
+            msg_q,
+            gen: GenerationTable::new(),
+            threads: HashMap::new(),
+            rng,
+            inter_arrival,
+            next_tid: 0,
+            next_txn: 0,
+            run_token: 0,
+            outstanding: 0,
+            lat: Histogram::new(),
+            completed_measured: 0,
+            dropped: 0,
+            agent_pump_scheduled: false,
+            agent_core,
+            offloaded,
+            diag: Diag::default(),
+            stack_busy: vec![
+                SimTime::ZERO;
+                cfg.ingress.map_or(0, |i| i.stack_cores as usize)
+            ],
+            cfg,
+        }
+    }
+
+    /// Runs the experiment to completion and reports.
+    pub fn run(mut self) -> SchedReport {
+        let mut sim: S = Sim::new();
+        sim.set_horizon(self.cfg.duration);
+        let first = SimTime::from_ns(1);
+        sim.schedule(first, |m: &mut SchedSim, s| m.arrival(s));
+        sim.run(&mut self);
+        let window = self.cfg.duration - self.cfg.warmup;
+        let achieved = self.completed_measured as f64 / window.as_secs_f64();
+        let (hits, misses) = self.slots.hit_miss();
+        self.diag.outstanding_at_end = self.outstanding as u64;
+        SchedReport {
+            offered: self.cfg.offered,
+            achieved,
+            latency: self.lat.summary(),
+            completed: self.completed_measured,
+            dropped: self.dropped,
+            prestage_hits: hits,
+            prestage_misses: misses,
+            msix_sent: self.ic.msix.sent(),
+            agent_decisions: self.agent.decisions(),
+            diag: self.diag,
+        }
+    }
+
+    // --- Load generation -------------------------------------------------
+
+    fn arrival(&mut self, sim: &mut S) {
+        let now = sim.now();
+        // Schedule the next arrival first (open loop).
+        let dt = SimTime::from_ns(self.inter_arrival.sample(&mut self.rng).max(1.0) as u64);
+        sim.schedule(now + dt, |m: &mut SchedSim, s| m.arrival(s));
+
+        if self.outstanding >= self.cfg.max_outstanding {
+            self.dropped += 1;
+            return;
+        }
+        let (service, slo) = self.cfg.mix.sample(&mut self.rng);
+        if let Some(ing) = self.cfg.ingress {
+            // Route through the RPC stack: pick the least-busy stack
+            // core; the scheduler learns about the request when protocol
+            // processing completes.
+            let ratio = self.cfg.cpu.ratio(ing.stack_core, WorkloadClass::ComputeBound);
+            let svc = ing.per_rpc.scale(ratio);
+            let idx = (0..self.stack_busy.len())
+                .min_by_key(|&i| self.stack_busy[i])
+                .expect("ingress has at least one stack core");
+            let start = (now + ing.network_delay).max(self.stack_busy[idx]);
+            self.stack_busy[idx] = start + svc;
+            let done = start + svc;
+            sim.schedule(done, move |m: &mut SchedSim, s| {
+                m.admit(s, now, service, slo)
+            });
+            return;
+        }
+        self.admit_at(sim, now, now, service, slo);
+    }
+
+    fn admit(&mut self, sim: &mut S, wire_arrival: SimTime, service: SimTime, slo: SloClass) {
+        let now = sim.now();
+        self.admit_at(sim, now, wire_arrival, service, slo);
+    }
+
+    fn admit_at(
+        &mut self,
+        sim: &mut S,
+        now: SimTime,
+        wire_arrival: SimTime,
+        service: SimTime,
+        slo: SloClass,
+    ) {
+        let tid = Tid(self.next_tid);
+        self.next_tid += 1;
+        self.outstanding += 1;
+        self.gen.insert(tid.0);
+        let io = self
+            .cfg
+            .ingress
+            .map_or(SimTime::ZERO, |i| i.worker_receive + i.worker_respond);
+        self.threads.insert(
+            tid.0,
+            ThreadState {
+                remaining: service + SimTime::from_ns(self.cfg.cost.app_overhead_ns) + io,
+                arrival: wire_arrival,
+                slo,
+                run: ThreadRun::Runnable,
+            },
+        );
+        // The load generator core sends the wakeup message (its CPU time
+        // is not charged against worker throughput, matching the paper's
+        // setup where the generator has its own resources).
+        let msg = SchedMsg::new(tid, SchedMsgKind::Wakeup, None);
+        let mut cost = SimTime::ZERO;
+        match self.msg_q.push(now, &mut self.ic, msg) {
+            Ok(out) => cost += out.cpu,
+            Err(rej) => {
+                cost += self.msg_q.sync_credits(now, &mut self.ic);
+                match self.msg_q.push(now + cost, &mut self.ic, rej.payload) {
+                    Ok(out) => cost += out.cpu,
+                    Err(_) => {
+                        // Message queue overload: drop the request.
+                        self.gen.remove(tid.0);
+                        self.threads.remove(&tid.0);
+                        self.outstanding -= 1;
+                        self.dropped += 1;
+                        return;
+                    }
+                }
+            }
+        }
+        cost += self.msg_q.flush(now + cost, &mut self.ic);
+        let visible = now + cost + self.ic.one_way();
+        self.schedule_agent_pump(sim, visible);
+    }
+
+    // --- Agent ------------------------------------------------------------
+
+    fn schedule_agent_pump(&mut self, sim: &mut S, at: SimTime) {
+        if self.agent_pump_scheduled {
+            return;
+        }
+        self.agent_pump_scheduled = true;
+        let t = at.max(self.agent.busy_until()) + SimTime::from_ns(self.cfg.cost.agent_pickup_ns);
+        sim.schedule(t, |m: &mut SchedSim, s| {
+            m.agent_pump_scheduled = false;
+            m.agent_pump(s);
+        });
+    }
+
+    /// One agent duty cycle: drain visible messages, update the policy,
+    /// serve waiting cores (stage + MSI-X), then prestage.
+    fn agent_pump(&mut self, sim: &mut S) {
+        if !self.agent.is_running() {
+            return;
+        }
+        self.diag.pumps += 1;
+        let now = sim.now().max(self.agent.busy_until());
+        let polled = self.msg_q.poll_nic(now, &mut self.ic, 64);
+        let mut nic_cost = polled.cpu;
+        let policy_ratio = self
+            .cfg
+            .cpu
+            .ratio(self.agent_core, WorkloadClass::ComputeBound);
+        // Policy bookkeeping words per handled event (run-queue nodes
+        // etc.) pay the SoC mapping cost.
+        for msg in &polled.items {
+            // Message handling touches a few run-queue words and does a
+            // cheap enqueue/remove; the full policy pick cost is paid at
+            // staging time in `stage_pick`.
+            nic_cost += self.ic.soc.access(self.cfg.opts.soc_pte(), 8);
+            nic_cost += self.policy.compute_cost().scale(policy_ratio * 0.5);
+            let meta = self
+                .threads
+                .get(&msg.tid.0)
+                .map(|t| ThreadMeta {
+                    arrival: t.arrival,
+                    slo: t.slo,
+                })
+                .unwrap_or_else(|| ThreadMeta::at(now));
+            if msg.makes_runnable() {
+                self.policy.on_runnable(now, msg.tid, meta);
+            } else if msg.removes_thread() {
+                self.policy.on_removed(now, msg.tid);
+            }
+            if let Some(cpu) = msg.cpu {
+                if msg.removes_thread() || matches!(msg.kind, SchedMsgKind::Yield) {
+                    // That core went idle; remember if nothing is staged.
+                    if let CoreState::Idle { waiting } = &mut self.cores[cpu.0 as usize] {
+                        *waiting = true;
+                        let _ = waiting;
+                    }
+                }
+            }
+        }
+
+        // Serve idle, waiting cores first: stage + MSI-X.
+        let mut kicked = Vec::new();
+        for c in 0..self.cores.len() {
+            let cpu = CpuId(c as u32);
+            if !matches!(self.cores[c], CoreState::Idle { waiting: true }) {
+                continue;
+            }
+            // If a decision is already staged (host missed it earlier),
+            // re-kick; otherwise try to stage a fresh pick.
+            let have = self.slots.is_staged(cpu) || self.stage_pick(now, cpu, &mut nic_cost);
+            if have {
+                let d = self.ic.msix.send(
+                    now + nic_cost,
+                    MsixVector(cpu.0),
+                    MsixSendPath::Ioctl,
+                    if self.offloaded {
+                        wave_pcie::config::Side::Nic
+                    } else {
+                        wave_pcie::config::Side::Host
+                    },
+                );
+                nic_cost += d.sender_cpu;
+                self.agent.record_decision(now + nic_cost);
+                kicked.push((cpu, d.handler_at));
+                self.cores[c] = CoreState::Idle { waiting: false };
+            }
+        }
+        for (cpu, at) in kicked {
+            sim.schedule(at, move |m: &mut SchedSim, s| m.wakeup_irq(s, cpu));
+        }
+
+        // Prestage one decision per busy core whose slot is empty (§5.4),
+        // if the policy wants it and queue depth warrants.
+        if self.cfg.opts.prestage && self.policy.wants_prestaging() {
+            for c in 0..self.cores.len() {
+                if self.policy.queue_depth() == 0 {
+                    break;
+                }
+                let cpu = CpuId(c as u32);
+                if matches!(self.cores[c], CoreState::Busy { .. })
+                    && !self.slots.is_staged(cpu)
+                    && self.stage_pick(now, cpu, &mut nic_cost)
+                {
+                    self.agent.record_decision(now + nic_cost);
+                }
+            }
+        }
+
+        self.agent.run_raw(now, nic_cost);
+        // If entries remain (a bigger batch, or pushed-but-not-yet-
+        // visible messages), pump again when they can be seen.
+        if let Some(next) = self.msg_q.next_visible_at() {
+            let at = next.max(self.agent.busy_until());
+            self.schedule_agent_pump(sim, at);
+        }
+    }
+
+    /// Dequeues a thread from the policy and stages it for `cpu`.
+    /// Returns whether a decision was staged; accumulates agent cost.
+    fn stage_pick(&mut self, now: SimTime, cpu: CpuId, nic_cost: &mut SimTime) -> bool {
+        let ratio = self
+            .cfg
+            .cpu
+            .ratio(self.agent_core, WorkloadClass::ComputeBound);
+        *nic_cost += self.policy.compute_cost().scale(ratio);
+        // Scenario-specific extra (e.g. OnHost-Schedule reading RPC
+        // headers over PCIe before it can place the request).
+        *nic_cost += self.cfg.agent_decision_extra;
+        let Some(tid) = self.policy.pick_next(now) else {
+            return false;
+        };
+        let Some(target) = self.gen.snapshot(tid.0) else {
+            // Thread vanished between message and pick; drop it.
+            return false;
+        };
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let d = SlotDecision {
+            txn,
+            tid,
+            target,
+            preempt: false,
+        };
+        *nic_cost += self.slots.agent_stage(now + *nic_cost, &mut self.ic, cpu, d);
+        true
+    }
+
+    // --- Host side ---------------------------------------------------------
+
+    /// MSI-X handler on an idle core: software coherence + consume +
+    /// commit + switch.
+    fn wakeup_irq(&mut self, sim: &mut S, cpu: CpuId) {
+        let now = sim.now();
+        if !matches!(self.cores[cpu.0 as usize], CoreState::Idle { .. }) {
+            return; // Core got work through another path meanwhile.
+        }
+        let mut cost = SimTime::ZERO;
+        // §5.3.2: flush the stale view, then read.
+        cost += self.slots.host_invalidate(now, &mut self.ic, cpu);
+        let (c, got) = self.slots.host_consume(now + cost, &mut self.ic, cpu);
+        cost += c;
+        match got {
+            Some(d) => {
+                self.diag.wakeup_hit += 1;
+                self.try_commit(sim, cpu, d, now + cost)
+            }
+            None => {
+                // Spurious kick (e.g. decision revoked). Stay waiting.
+                self.diag.wakeup_miss += 1;
+                self.cores[cpu.0 as usize] = CoreState::Idle { waiting: true };
+                self.schedule_agent_pump(sim, now + cost + self.ic.one_way());
+            }
+        }
+    }
+
+    /// Validate + enforce a decision on `cpu` (the atomic commit).
+    fn try_commit(&mut self, sim: &mut S, cpu: CpuId, d: SlotDecision, at: SimTime) {
+        let mut cost = self.cfg.cost.commit_path(self.offloaded);
+        let outcome = self.gen.validate(d.target);
+        if !outcome.is_committed()
+            || !matches!(
+                self.threads.get(&d.tid.0).map(|t| t.run),
+                Some(ThreadRun::Runnable)
+            )
+        {
+            // Failed transaction: clean failure, core keeps waiting.
+            self.diag.commit_fail += 1;
+            self.cores[cpu.0 as usize] = CoreState::Idle { waiting: true };
+            self.schedule_agent_pump(sim, at + cost + self.ic.one_way());
+            return;
+        }
+        cost += self.cfg.cost.kernel_switch();
+        self.run_token += 1;
+        let token = self.run_token;
+        self.cores[cpu.0 as usize] = CoreState::Busy { tid: d.tid, token };
+        if let Some(t) = self.threads.get_mut(&d.tid.0) {
+            t.run = ThreadRun::Running(cpu);
+        }
+        self.begin_segment(sim, cpu, d.tid, token, at + cost);
+    }
+
+    /// Starts a run segment for `tid` on `cpu` at `start`, scheduling
+    /// either completion or an agent-side preemption check.
+    fn begin_segment(&mut self, sim: &mut S, cpu: CpuId, tid: Tid, token: u64, start: SimTime) {
+        let remaining = self.threads[&tid.0].remaining;
+        match self.policy.time_slice() {
+            Some(slice) if remaining > slice => {
+                // The agent tracks the slice and will preempt via MSI-X.
+                let at = start + slice;
+                sim.schedule(at, move |m: &mut SchedSim, s| {
+                    m.agent_preempt(s, cpu, tid, token, start)
+                });
+            }
+            _ => {
+                let at = start + remaining;
+                sim.schedule(at, move |m: &mut SchedSim, s| {
+                    m.complete(s, cpu, tid, token)
+                });
+            }
+        }
+    }
+
+    /// Agent-side slice expiry: stage a preemption decision and kick the
+    /// core (§7.2.3 — this is the path where prefetching cannot help).
+    ///
+    /// Shinjuku issues a decision at *every* slice boundary: if the run
+    /// queue has a replacement the current thread is preempted; otherwise
+    /// the agent stages a "continue" decision for the same thread. Either
+    /// way the host pays the MSI-X + fresh slot read + commit — the reason
+    /// the paper's Fig. 4b degrades more under offload than FIFO does.
+    fn agent_preempt(&mut self, sim: &mut S, cpu: CpuId, tid: Tid, token: u64, seg_start: SimTime) {
+        if !matches!(self.cores[cpu.0 as usize], CoreState::Busy { tid: t, token: k } if t == tid && k == token)
+        {
+            return; // Stale timer.
+        }
+        if !self.agent.is_running() {
+            return;
+        }
+        let now = sim.now().max(self.agent.busy_until());
+        let mut nic_cost = SimTime::ZERO;
+        // Pick the replacement (if any) and stage it.
+        let staged = self.stage_pick(now, cpu, &mut nic_cost);
+        if staged {
+            self.diag.preempt_staged += 1;
+        } else {
+            // Queue empty: stage a self-requeue ("continue") decision.
+            self.diag.preempt_extend += 1;
+            let Some(target) = self.gen.snapshot(tid.0) else {
+                return;
+            };
+            let txn = TxnId(self.next_txn);
+            self.next_txn += 1;
+            let d = SlotDecision {
+                txn,
+                tid,
+                target,
+                preempt: false,
+            };
+            nic_cost += self.slots.agent_stage(now + nic_cost, &mut self.ic, cpu, d);
+        }
+        let d = self.ic.msix.send(
+            now + nic_cost,
+            MsixVector(cpu.0),
+            MsixSendPath::Ioctl,
+            if self.offloaded {
+                wave_pcie::config::Side::Nic
+            } else {
+                wave_pcie::config::Side::Host
+            },
+        );
+        nic_cost += d.sender_cpu;
+        self.agent.record_decision(now + nic_cost);
+        self.agent.run_raw(now, nic_cost);
+        let at = d.handler_at;
+        sim.schedule(at, move |m: &mut SchedSim, s| {
+            m.preempt_irq(s, cpu, tid, token, seg_start)
+        });
+    }
+
+    /// Host IRQ for a preemption: context-switch to the staged decision,
+    /// re-queue the preempted thread.
+    fn preempt_irq(&mut self, sim: &mut S, cpu: CpuId, tid: Tid, token: u64, seg_start: SimTime) {
+        let now = sim.now();
+        if !matches!(self.cores[cpu.0 as usize], CoreState::Busy { tid: t, token: k } if t == tid && k == token)
+        {
+            return;
+        }
+        // The kernel charges the preempted thread for its runtime.
+        let ran = now.saturating_sub(seg_start);
+        let rem = self.threads[&tid.0].remaining.saturating_sub(ran);
+        let mut cost = SimTime::ZERO;
+        // Read the staged replacement: flush + fresh read (no prefetch
+        // benefit on this path, §7.2.2).
+        cost += self.slots.host_invalidate(now, &mut self.ic, cpu);
+        let (c, got) = self.slots.host_consume(now + cost, &mut self.ic, cpu);
+        cost += c;
+        let Some(d) = got else {
+            // Replacement vanished: keep running the current thread.
+            if let Some(t) = self.threads.get_mut(&tid.0) {
+                t.remaining = rem;
+            }
+            self.begin_segment(sim, cpu, tid, token, now + cost);
+            return;
+        };
+        if d.tid == tid {
+            // "Continue" decision: charge the check, extend the slice.
+            if rem == SimTime::ZERO {
+                self.finish_thread(sim, tid, now);
+                self.cores[cpu.0 as usize] = CoreState::Idle { waiting: true };
+                self.schedule_agent_pump(sim, now + cost + self.ic.one_way());
+                return;
+            }
+            if let Some(t) = self.threads.get_mut(&tid.0) {
+                t.remaining = rem;
+            }
+            self.begin_segment(sim, cpu, tid, token, now + cost);
+            return;
+        }
+        self.diag.preempt_switch += 1;
+        if rem == SimTime::ZERO {
+            // The thread finished exactly at the slice boundary; treat
+            // as completion, then run the replacement.
+            self.finish_thread(sim, tid, now);
+        } else {
+            if let Some(t) = self.threads.get_mut(&tid.0) {
+                t.remaining = rem;
+                t.run = ThreadRun::Runnable;
+            }
+            // Tell the agent the thread is runnable again.
+            cost += self.cfg.cost.kernel_event();
+            let msg = SchedMsg::new(tid, SchedMsgKind::Preempted, Some(cpu));
+            if let Ok(out) = self.msg_q.push(now + cost, &mut self.ic, msg) {
+                cost += out.cpu;
+                cost += self.msg_q.flush(now + cost, &mut self.ic);
+                self.schedule_agent_pump(sim, now + cost + self.ic.one_way());
+            }
+        }
+        self.try_commit(sim, cpu, d, now + cost);
+    }
+
+    fn finish_thread(&mut self, _sim: &mut S, tid: Tid, now: SimTime) {
+        let Some(t) = self.threads.get_mut(&tid.0) else {
+            return;
+        };
+        t.run = ThreadRun::Finished;
+        let arrival = t.arrival;
+        self.gen.remove(tid.0);
+        self.threads.remove(&tid.0);
+        self.outstanding -= 1;
+        if arrival >= self.cfg.warmup && now <= self.cfg.duration {
+            self.lat.record_time(now - arrival);
+            self.completed_measured += 1;
+        }
+    }
+
+    /// A request finished on `cpu`: record stats and walk the idle
+    /// transition (the paper's prestaged fast path).
+    fn complete(&mut self, sim: &mut S, cpu: CpuId, tid: Tid, token: u64) {
+        let now = sim.now();
+        if !matches!(self.cores[cpu.0 as usize], CoreState::Busy { tid: t, token: k } if t == tid && k == token)
+        {
+            return;
+        }
+        self.finish_thread(sim, tid, now);
+
+        let mut cost = SimTime::ZERO;
+        // §5.4 ordering: prefetch first, then kernel bookkeeping + the
+        // blocked/dead message — that ~1 µs of useful work hides the
+        // prefetch fill.
+        if self.cfg.opts.prefetch {
+            cost += self.slots.host_prefetch(now, &mut self.ic, cpu);
+        }
+        cost += self.cfg.cost.kernel_event();
+        let msg = SchedMsg::new(tid, SchedMsgKind::Dead, Some(cpu));
+        match self.msg_q.push(now + cost, &mut self.ic, msg) {
+            Ok(out) => cost += out.cpu,
+            Err(rej) => {
+                cost += self.msg_q.sync_credits(now + cost, &mut self.ic);
+                if let Ok(out) = self.msg_q.push(now + cost, &mut self.ic, rej.payload) {
+                    cost += out.cpu;
+                }
+            }
+        }
+        cost += self.msg_q.flush(now + cost, &mut self.ic);
+        let msg_visible = now + cost + self.ic.one_way();
+
+        // Prestaged fast path: read the slot.
+        let (c, got) = self.slots.host_consume(now + cost, &mut self.ic, cpu);
+        cost += c;
+        match got {
+            Some(d) => {
+                self.diag.complete_hit += 1;
+                self.cores[cpu.0 as usize] = CoreState::Idle { waiting: false };
+                self.schedule_agent_pump(sim, msg_visible);
+                self.try_commit(sim, cpu, d, now + cost);
+            }
+            None => {
+                self.diag.complete_miss += 1;
+                self.cores[cpu.0 as usize] = CoreState::Idle { waiting: true };
+                self.schedule_agent_pump(sim, msg_visible);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{FifoPolicy, ShinjukuPolicy};
+
+    fn quick_cfg(placement: Placement, opts: OptLevel, offered: f64) -> SchedConfig {
+        let mut cfg = SchedConfig::new(4, placement, opts);
+        cfg.offered = offered;
+        cfg.duration = SimTime::from_ms(200);
+        cfg.warmup = SimTime::from_ms(20);
+        cfg
+    }
+
+    #[test]
+    fn low_load_all_requests_complete() {
+        let cfg = quick_cfg(Placement::Offloaded, OptLevel::full(), 20_000.0);
+        let report = SchedSim::new(cfg, Box::new(FifoPolicy::new())).run();
+        // 20k/s for 180 ms measured window ~ 3600 requests.
+        assert!(report.completed > 3_000, "completed {}", report.completed);
+        assert_eq!(report.dropped, 0);
+        // At 20k req/s on 4 cores the system is far from saturation:
+        // latency should be tens of microseconds.
+        assert!(
+            report.latency.p99 < SimTime::from_us(120),
+            "p99 {}",
+            report.latency.p99
+        );
+    }
+
+    #[test]
+    fn onhost_low_load_latency_below_offloaded() {
+        let on = SchedSim::new(
+            quick_cfg(Placement::OnHost, OptLevel::full(), 20_000.0),
+            Box::new(FifoPolicy::new()),
+        )
+        .run();
+        let off = SchedSim::new(
+            quick_cfg(Placement::Offloaded, OptLevel::full(), 20_000.0),
+            Box::new(FifoPolicy::new()),
+        )
+        .run();
+        assert!(
+            off.latency.p50 >= on.latency.p50,
+            "offload median {} should not beat on-host {}",
+            off.latency.p50,
+            on.latency.p50
+        );
+        // But with full optimizations the gap stays small (paper: a few us).
+        let gap = off.latency.p99.saturating_sub(on.latency.p99);
+        assert!(gap < SimTime::from_us(15), "tail gap {gap}");
+    }
+
+    #[test]
+    fn optimizations_increase_saturation() {
+        let mut base_cfg = quick_cfg(Placement::Offloaded, OptLevel::none(), 150_000.0);
+        base_cfg.duration = SimTime::from_ms(300);
+        let base = SchedSim::new(base_cfg, Box::new(FifoPolicy::new())).run();
+        let full = SchedSim::new(
+            {
+                let mut c = quick_cfg(Placement::Offloaded, OptLevel::full(), 150_000.0);
+                c.duration = SimTime::from_ms(300);
+                c
+            },
+            Box::new(FifoPolicy::new()),
+        )
+        .run();
+        // At a load the optimized system can absorb, the unoptimized one
+        // must show far worse tail latency (it is past saturation).
+        assert!(
+            base.latency.p99 > full.latency.p99 * 3,
+            "base p99 {} vs full p99 {}",
+            base.latency.p99,
+            full.latency.p99
+        );
+    }
+
+    #[test]
+    fn prestaging_hits_dominate_at_load() {
+        let cfg = quick_cfg(Placement::Offloaded, OptLevel::full(), 150_000.0);
+        let report = SchedSim::new(cfg, Box::new(FifoPolicy::new())).run();
+        assert!(
+            report.prestage_hits > report.prestage_misses,
+            "hits {} misses {}",
+            report.prestage_hits,
+            report.prestage_misses
+        );
+    }
+
+    #[test]
+    fn shinjuku_preempts_long_requests() {
+        let mut cfg = quick_cfg(Placement::Offloaded, OptLevel::full(), 20_000.0);
+        cfg.mix = ServiceMix::paper_bimodal();
+        let report = SchedSim::new(cfg, Box::new(ShinjukuPolicy::paper_default())).run();
+        assert!(report.completed > 2_000);
+        // With 0.5% 10 ms requests and FIFO, p99 of the GETs would blow
+        // past 10 ms at this load; Shinjuku keeps the p99 well below.
+        assert!(
+            report.latency.p99 < SimTime::from_ms(12),
+            "p99 {}",
+            report.latency.p99
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let r1 = SchedSim::new(
+            quick_cfg(Placement::Offloaded, OptLevel::full(), 50_000.0),
+            Box::new(FifoPolicy::new()),
+        )
+        .run();
+        let r2 = SchedSim::new(
+            quick_cfg(Placement::Offloaded, OptLevel::full(), 50_000.0),
+            Box::new(FifoPolicy::new()),
+        )
+        .run();
+        assert_eq!(r1.completed, r2.completed);
+        assert_eq!(r1.latency.p99, r2.latency.p99);
+        assert_eq!(r1.msix_sent, r2.msix_sent);
+    }
+
+    #[test]
+    fn overload_guard_drops() {
+        let mut cfg = quick_cfg(Placement::Offloaded, OptLevel::full(), 3_000_000.0);
+        cfg.max_outstanding = 500;
+        let report = SchedSim::new(cfg, Box::new(FifoPolicy::new())).run();
+        assert!(report.dropped > 0);
+    }
+}

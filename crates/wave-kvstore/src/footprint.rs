@@ -1,0 +1,240 @@
+//! The database's memory footprint model for the SOL experiment (§7.4).
+//!
+//! The paper's RocksDB instance holds 10 billion key-value pairs in
+//! ~100 GiB of DRAM, grouped by SOL into 256 KiB batches (64 × 4 KiB
+//! pages). Only a skewed subset is hot: after three epochs SOL demotes
+//! cold batches and the resident set shrinks from ~102 GiB to ~21.3 GiB
+//! (−79%).
+//!
+//! [`DbFootprint`] models pages and batches *symbolically* (no 100 GiB
+//! allocation): each batch has a true hotness derived from a skewed
+//! access pattern; "running the workload" sets access bits
+//! probabilistically per scan window, which is exactly the signal SOL's
+//! Thompson sampler consumes.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use wave_sim::SimTime;
+
+/// Footprint configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FootprintConfig {
+    /// Total resident bytes at startup (~102 GiB in the paper).
+    pub total_bytes: u64,
+    /// Page size (4 KiB).
+    pub page_bytes: u64,
+    /// Pages per SOL batch (64 ⇒ 256 KiB batches).
+    pub pages_per_batch: u64,
+    /// Fraction of batches that are genuinely hot (the paper's workload
+    /// leaves ~21% resident after convergence).
+    pub hot_fraction: f64,
+    /// Probability a *hot* batch is touched within a 300 ms scan window.
+    pub hot_touch_prob: f64,
+    /// Probability a *cold* batch is touched within a window (noise).
+    pub cold_touch_prob: f64,
+}
+
+impl FootprintConfig {
+    /// The paper's configuration, scaled by `scale` (1.0 = full
+    /// 102 GiB; tests use ~1e-3).
+    pub fn paper(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+        FootprintConfig {
+            total_bytes: (102.0 * (1u64 << 30) as f64 * scale) as u64,
+            page_bytes: 4096,
+            pages_per_batch: 64,
+            hot_fraction: 0.209, // converges to ~21.3/102
+            hot_touch_prob: 0.85,
+            cold_touch_prob: 0.02,
+        }
+    }
+
+    /// Number of batches in the address space.
+    pub fn batches(&self) -> usize {
+        (self.total_bytes / (self.page_bytes * self.pages_per_batch)) as usize
+    }
+
+    /// Bytes per batch.
+    pub fn batch_bytes(&self) -> u64 {
+        self.page_bytes * self.pages_per_batch
+    }
+}
+
+/// How batch hotness is assigned across the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Hot batches are clustered at the front of the space (index
+    /// files, hot SSTs).
+    Clustered,
+    /// Hot batches are spread pseudo-randomly.
+    Scattered,
+}
+
+/// The symbolic page/batch model of the database's resident memory.
+#[derive(Debug)]
+pub struct DbFootprint {
+    cfg: FootprintConfig,
+    hot: Vec<bool>,
+    resident: Vec<bool>,
+}
+
+impl DbFootprint {
+    /// Builds the footprint with the given hotness layout.
+    pub fn new(cfg: FootprintConfig, pattern: AccessPattern, seed: u64) -> Self {
+        let n = cfg.batches();
+        assert!(n > 0, "address space too small for one batch");
+        let hot_count = (n as f64 * cfg.hot_fraction).round() as usize;
+        let mut hot = vec![false; n];
+        match pattern {
+            AccessPattern::Clustered => {
+                for h in hot.iter_mut().take(hot_count) {
+                    *h = true;
+                }
+            }
+            AccessPattern::Scattered => {
+                let mut rng = wave_sim::rng(seed);
+                let mut assigned = 0;
+                while assigned < hot_count {
+                    let i = rng.random_range(0..n);
+                    if !hot[i] {
+                        hot[i] = true;
+                        assigned += 1;
+                    }
+                }
+            }
+        }
+        DbFootprint {
+            cfg,
+            hot,
+            resident: vec![true; n],
+        }
+    }
+
+    /// Number of batches.
+    pub fn batches(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Whether batch `i` is genuinely hot (oracle view, for accuracy
+    /// metrics).
+    pub fn is_hot(&self, i: usize) -> bool {
+        self.hot[i]
+    }
+
+    /// Whether batch `i` is currently in the fast tier.
+    pub fn is_resident(&self, i: usize) -> bool {
+        self.resident[i]
+    }
+
+    /// Simulates the workload touching memory during one scan window:
+    /// returns whether batch `i`'s access bits would be found set.
+    pub fn sample_access(&self, i: usize, rng: &mut SmallRng) -> bool {
+        let p = if self.hot[i] {
+            self.cfg.hot_touch_prob
+        } else {
+            self.cfg.cold_touch_prob
+        };
+        rng.random::<f64>() < p
+    }
+
+    /// Moves batch `i` to the slow tier (demotion).
+    pub fn demote(&mut self, i: usize) {
+        self.resident[i] = false;
+    }
+
+    /// Moves batch `i` back to the fast tier (promotion).
+    pub fn promote(&mut self, i: usize) {
+        self.resident[i] = true;
+    }
+
+    /// Current fast-tier bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.iter().filter(|&&r| r).count() as u64 * self.cfg.batch_bytes()
+    }
+
+    /// Fast-tier fraction of the original footprint.
+    pub fn resident_fraction(&self) -> f64 {
+        self.resident.iter().filter(|&&r| r).count() as f64 / self.resident.len() as f64
+    }
+
+    /// Extra latency a GET pays when it touches a demoted hot batch
+    /// (swap-in from the slow tier). Used for the §7.4.2 "effect on
+    /// RocksDB" tail check.
+    pub fn fault_penalty(&self) -> SimTime {
+        SimTime::from_us(20)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> FootprintConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FootprintConfig {
+        FootprintConfig::paper(0.001)
+    }
+
+    #[test]
+    fn paper_scale_batch_count() {
+        let full = FootprintConfig::paper(1.0);
+        // 102 GiB / 256 KiB = 417,792 batches.
+        assert_eq!(full.batches(), 417_792);
+    }
+
+    #[test]
+    fn hot_fraction_assigned() {
+        let f = DbFootprint::new(cfg(), AccessPattern::Scattered, 1);
+        let hot = (0..f.batches()).filter(|&i| f.is_hot(i)).count();
+        let frac = hot as f64 / f.batches() as f64;
+        assert!((frac - 0.209).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn all_resident_at_startup() {
+        let f = DbFootprint::new(cfg(), AccessPattern::Clustered, 1);
+        assert!((f.resident_fraction() - 1.0).abs() < 1e-12);
+        assert!(f.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn demotion_shrinks_footprint() {
+        let mut f = DbFootprint::new(cfg(), AccessPattern::Clustered, 1);
+        let before = f.resident_bytes();
+        for i in 0..f.batches() {
+            if !f.is_hot(i) {
+                f.demote(i);
+            }
+        }
+        let after = f.resident_bytes();
+        assert!(after < before / 3, "cold demotion must cut ~79%: {after} vs {before}");
+        let frac = after as f64 / before as f64;
+        assert!((frac - 0.209).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn hot_batches_touch_more() {
+        let f = DbFootprint::new(cfg(), AccessPattern::Scattered, 2);
+        let mut rng = wave_sim::rng(3);
+        let (mut hot_touches, mut hot_n, mut cold_touches, mut cold_n) = (0, 0, 0, 0);
+        for _ in 0..50 {
+            for i in 0..f.batches() {
+                let touched = f.sample_access(i, &mut rng);
+                if f.is_hot(i) {
+                    hot_n += 1;
+                    hot_touches += touched as u64;
+                } else {
+                    cold_n += 1;
+                    cold_touches += touched as u64;
+                }
+            }
+        }
+        let hot_rate = hot_touches as f64 / hot_n as f64;
+        let cold_rate = cold_touches as f64 / cold_n as f64;
+        assert!(hot_rate > 0.8, "hot {hot_rate}");
+        assert!(cold_rate < 0.05, "cold {cold_rate}");
+    }
+}

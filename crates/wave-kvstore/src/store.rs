@@ -1,0 +1,191 @@
+//! A small in-memory key-value store with RocksDB-shaped requests.
+//!
+//! The experiments only need the *service-time envelope* of RocksDB (a
+//! 10 µs GET, a 10 ms RANGE scan), but the examples exercise a real
+//! store so the public API demonstrates end-to-end behaviour.
+
+use std::collections::BTreeMap;
+
+use wave_sim::SimTime;
+
+/// Request kinds with the paper's service times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Point lookup: 10 µs of CPU in the paper's configuration.
+    Get,
+    /// Range scan: 10 ms of CPU.
+    Range,
+    /// Point insert (not measured in the paper; provided for realism).
+    Put,
+}
+
+/// One request against the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Request kind.
+    pub kind: RequestKind,
+    /// Key (start key for ranges).
+    pub key: u64,
+    /// Value for puts; scan length for ranges.
+    pub arg: u64,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbConfig {
+    /// Modelled CPU time of a GET.
+    pub get_service: SimTime,
+    /// Modelled CPU time of a RANGE.
+    pub range_service: SimTime,
+    /// Modelled CPU time of a PUT.
+    pub put_service: SimTime,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            get_service: SimTime::from_us(10),
+            range_service: SimTime::from_ms(10),
+            put_service: SimTime::from_us(12),
+        }
+    }
+}
+
+/// An ordered in-memory key-value store.
+///
+/// # Examples
+///
+/// ```
+/// use wave_kvstore::{Db, DbConfig, Request, RequestKind};
+///
+/// let mut db = Db::new(DbConfig::default());
+/// db.put(7, vec![1, 2, 3]);
+/// let (value, cost) = db.execute(&Request { kind: RequestKind::Get, key: 7, arg: 0 });
+/// assert_eq!(value.unwrap(), vec![1, 2, 3]);
+/// assert_eq!(cost, DbConfig::default().get_service);
+/// ```
+#[derive(Debug, Default)]
+pub struct Db {
+    data: BTreeMap<u64, Vec<u8>>,
+    cfg: DbConfig,
+    gets: u64,
+    ranges: u64,
+    puts: u64,
+}
+
+impl Db {
+    /// Creates an empty store.
+    pub fn new(cfg: DbConfig) -> Self {
+        Db {
+            data: BTreeMap::new(),
+            cfg,
+            gets: 0,
+            ranges: 0,
+            puts: 0,
+        }
+    }
+
+    /// Loads `n` keys with small values (test/bench fixture).
+    pub fn populate(&mut self, n: u64) {
+        for k in 0..n {
+            self.put(k, k.to_le_bytes().to_vec());
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Direct insert.
+    pub fn put(&mut self, key: u64, value: Vec<u8>) {
+        self.puts += 1;
+        self.data.insert(key, value);
+    }
+
+    /// Direct lookup.
+    pub fn get(&mut self, key: u64) -> Option<&[u8]> {
+        self.gets += 1;
+        self.data.get(&key).map(Vec::as_slice)
+    }
+
+    /// Executes a request, returning the result (for GETs) and the
+    /// modelled CPU service time.
+    pub fn execute(&mut self, req: &Request) -> (Option<Vec<u8>>, SimTime) {
+        match req.kind {
+            RequestKind::Get => {
+                self.gets += 1;
+                (self.data.get(&req.key).cloned(), self.cfg.get_service)
+            }
+            RequestKind::Range => {
+                self.ranges += 1;
+                // Scan up to `arg` keys from `key`; the result is the
+                // concatenation length only (results are large; the
+                // experiments never materialize them).
+                let n = self
+                    .data
+                    .range(req.key..)
+                    .take(req.arg as usize)
+                    .count() as u64;
+                (Some(n.to_le_bytes().to_vec()), self.cfg.range_service)
+            }
+            RequestKind::Put => {
+                self.puts += 1;
+                self.data.insert(req.key, req.arg.to_le_bytes().to_vec());
+                (None, self.cfg.put_service)
+            }
+        }
+    }
+
+    /// (gets, ranges, puts) counters.
+    pub fn op_counts(&self) -> (u64, u64, u64) {
+        (self.gets, self.ranges, self.puts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut db = Db::new(DbConfig::default());
+        db.put(1, vec![9]);
+        assert_eq!(db.get(1), Some(&[9u8][..]));
+        assert_eq!(db.get(2), None);
+    }
+
+    #[test]
+    fn execute_costs_match_config() {
+        let mut db = Db::new(DbConfig::default());
+        db.populate(100);
+        let (_, c) = db.execute(&Request { kind: RequestKind::Get, key: 5, arg: 0 });
+        assert_eq!(c, SimTime::from_us(10));
+        let (_, c) = db.execute(&Request { kind: RequestKind::Range, key: 0, arg: 10 });
+        assert_eq!(c, SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn range_counts_keys() {
+        let mut db = Db::new(DbConfig::default());
+        db.populate(100);
+        let (v, _) = db.execute(&Request { kind: RequestKind::Range, key: 90, arg: 50 });
+        let n = u64::from_le_bytes(v.unwrap().try_into().unwrap());
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn counters() {
+        let mut db = Db::new(DbConfig::default());
+        db.populate(10);
+        let _ = db.execute(&Request { kind: RequestKind::Get, key: 1, arg: 0 });
+        let _ = db.execute(&Request { kind: RequestKind::Put, key: 11, arg: 2 });
+        let (g, r, p) = db.op_counts();
+        assert_eq!((g, r, p), (1, 0, 11)); // populate counts as puts
+    }
+}

@@ -1,0 +1,150 @@
+//! Open-loop load generation (the paper's RocksDB driver).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use wave_sim::dist::{Bernoulli, Exp};
+use wave_sim::SimTime;
+
+use crate::store::{Request, RequestKind};
+
+/// The GET/RANGE request mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestMix {
+    /// Fraction of RANGE queries (the paper uses 0.5%).
+    pub range_fraction: f64,
+    /// Keys are drawn uniformly from `0..key_space`.
+    pub key_space: u64,
+    /// Scan length for RANGE queries.
+    pub range_len: u64,
+}
+
+impl RequestMix {
+    /// The paper's dispersive mix: 99.5% GET / 0.5% RANGE.
+    pub fn paper_bimodal(key_space: u64) -> Self {
+        RequestMix {
+            range_fraction: 0.005,
+            key_space,
+            range_len: 1_000,
+        }
+    }
+
+    /// Pure GETs (Fig. 4a).
+    pub fn gets_only(key_space: u64) -> Self {
+        RequestMix {
+            range_fraction: 0.0,
+            key_space,
+            range_len: 0,
+        }
+    }
+}
+
+/// An open-loop Poisson request generator.
+///
+/// # Examples
+///
+/// ```
+/// use wave_kvstore::{LoadGen, RequestMix};
+/// use wave_sim::SimTime;
+///
+/// let mut generator = LoadGen::new(RequestMix::gets_only(1_000), 100_000.0, 7);
+/// let (at, req) = generator.next_request(SimTime::ZERO);
+/// assert!(at > SimTime::ZERO);
+/// assert_eq!(req.key < 1_000, true);
+/// ```
+#[derive(Debug)]
+pub struct LoadGen {
+    mix: RequestMix,
+    inter_arrival: Exp,
+    range_draw: Bernoulli,
+    rng: SmallRng,
+    generated: u64,
+}
+
+impl LoadGen {
+    /// Creates a generator at `rate` requests/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn new(mix: RequestMix, rate: f64, seed: u64) -> Self {
+        LoadGen {
+            mix,
+            inter_arrival: Exp::new(rate / 1e9),
+            range_draw: Bernoulli::new(mix.range_fraction),
+            rng: wave_sim::rng(seed),
+            generated: 0,
+        }
+    }
+
+    /// Draws the next request and its (absolute) arrival time after
+    /// `now`.
+    pub fn next_request(&mut self, now: SimTime) -> (SimTime, Request) {
+        self.generated += 1;
+        let dt = SimTime::from_ns(self.inter_arrival.sample(&mut self.rng).max(1.0) as u64);
+        let key = self.rng.random_range(0..self.mix.key_space.max(1));
+        let req = if self.range_draw.sample(&mut self.rng) {
+            Request {
+                kind: RequestKind::Range,
+                key,
+                arg: self.mix.range_len,
+            }
+        } else {
+            Request {
+                kind: RequestKind::Get,
+                key,
+                arg: 0,
+            }
+        };
+        (now + dt, req)
+    }
+
+    /// Requests generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_respected() {
+        let mut lg = LoadGen::new(RequestMix::gets_only(100), 1_000_000.0, 3);
+        let mut t = SimTime::ZERO;
+        let n = 100_000;
+        for _ in 0..n {
+            let (at, _) = lg.next_request(t);
+            t = at;
+        }
+        // Mean inter-arrival should be ~1 us.
+        let mean_ns = t.as_ns() as f64 / n as f64;
+        assert!((mean_ns - 1_000.0).abs() < 30.0, "mean {mean_ns}");
+    }
+
+    #[test]
+    fn mix_fraction_matches() {
+        let mut lg = LoadGen::new(RequestMix::paper_bimodal(1_000), 1e6, 4);
+        let mut ranges = 0;
+        let n = 200_000;
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            let (at, req) = lg.next_request(t);
+            t = at;
+            if req.kind == RequestKind::Range {
+                ranges += 1;
+            }
+        }
+        let frac = ranges as f64 / n as f64;
+        assert!((frac - 0.005).abs() < 0.002, "frac {frac}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = LoadGen::new(RequestMix::paper_bimodal(100), 1e6, 9);
+        let mut b = LoadGen::new(RequestMix::paper_bimodal(100), 1e6, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_request(SimTime::ZERO), b.next_request(SimTime::ZERO));
+        }
+    }
+}

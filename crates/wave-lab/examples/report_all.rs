@@ -1,0 +1,22 @@
+//! Regenerates every paper table and figure in one run (quick configs)
+//! and prints the paper-vs-measured reports.
+//!
+//! Run with: `cargo run --release -p wave-lab --example fig4check`
+
+use wave_lab::{fig4, fig5, fig6, mem, table2, table3, upi};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    table2::report().print();
+    table3::report().print();
+    fig4::report(&fig4::Fig4Config::fifo_quick()).print();
+    fig4::ablation_report(&fig4::Fig4Config::fifo_quick()).print();
+    fig4::report(&fig4::Fig4Config::shinjuku_quick()).print();
+    fig5::report(&fig5::Fig5Config::paper()).print();
+    fig6::report(&fig6::Fig6Config::single_queue_quick()).print();
+    fig6::report(&fig6::Fig6Config::multi_queue_quick()).print();
+    upi::report(&upi::UpiConfig::quick()).print();
+    mem::duration_report().print();
+    mem::footprint_report(&mem::FootprintExperiment::quick()).print();
+    println!("\nall experiments regenerated in {:.1?}", t0.elapsed());
+}

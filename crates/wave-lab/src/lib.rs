@@ -1,0 +1,30 @@
+//! # wave-lab — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation (§7). Every
+//! module exposes:
+//!
+//! * a `*Config` with a `paper()` (full-fidelity) and `quick()` (CI-
+//!   speed) constructor,
+//! * a runner that produces a serializable result struct, and
+//! * a `report()` pretty-printer emitting a *paper vs. measured* table.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table2`] | Table 2 — hardware microbenchmarks |
+//! | [`table3`] | Table 3 — scheduling microbenchmarks |
+//! | [`fig4`] | Fig. 4a/4b + the §7.2.2 optimization ablation |
+//! | [`fig5`] | Fig. 5a/5b — VM scheduling vs. timer ticks |
+//! | [`fig6`] | Fig. 6a/6b — RPC stack placement scenarios |
+//! | [`upi`] | §7.3.3 — coherent-interconnect emulation |
+//! | [`mem`] | §7.4 — SOL iteration durations & footprint reduction |
+
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod mem;
+pub mod report;
+pub mod table2;
+pub mod table3;
+pub mod upi;
+
+pub use report::{PaperRow, Report};

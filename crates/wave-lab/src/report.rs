@@ -1,0 +1,133 @@
+//! Paper-vs-measured reporting.
+
+use serde::Serialize;
+
+/// One comparable quantity: what the paper reports vs. what we measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct PaperRow {
+    /// What the row measures.
+    pub label: String,
+    /// The paper's value (in `unit`).
+    pub paper: f64,
+    /// Our measured value (in `unit`).
+    pub measured: f64,
+    /// Unit of both columns.
+    pub unit: &'static str,
+}
+
+impl PaperRow {
+    /// Builds a row.
+    pub fn new(label: impl Into<String>, paper: f64, measured: f64, unit: &'static str) -> Self {
+        PaperRow {
+            label: label.into(),
+            paper,
+            measured,
+            unit,
+        }
+    }
+
+    /// Measured/paper ratio (NaN-safe: returns 1.0 when paper is 0).
+    pub fn ratio(&self) -> f64 {
+        if self.paper == 0.0 {
+            1.0
+        } else {
+            self.measured / self.paper
+        }
+    }
+}
+
+/// A named experiment report.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Report {
+    /// Experiment id (e.g. `"Table 2"`).
+    pub title: String,
+    /// Comparison rows.
+    pub rows: Vec<PaperRow>,
+    /// Free-form notes (methodology deltas, scaling).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a row.
+    pub fn push(&mut self, row: PaperRow) {
+        self.rows.push(row);
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        out.push_str(&format!(
+            "{:width$}  {:>14}  {:>14}  {:>8}  unit\n",
+            "metric",
+            "paper",
+            "measured",
+            "ratio",
+            width = width
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:width$}  {:>14.2}  {:>14.2}  {:>8.3}  {}\n",
+                r.label,
+                r.paper,
+                r.measured,
+                r.ratio(),
+                r.unit,
+                width = width
+            ));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_rows_and_notes() {
+        let mut r = Report::new("Table X");
+        r.push(PaperRow::new("latency", 750.0, 751.0, "ns"));
+        r.note("calibrated against Table 2");
+        let s = r.render();
+        assert!(s.contains("Table X"));
+        assert!(s.contains("latency"));
+        assert!(s.contains("751.00"));
+        assert!(s.contains("note: calibrated"));
+    }
+
+    #[test]
+    fn ratio_nan_safe() {
+        assert_eq!(PaperRow::new("x", 0.0, 5.0, "ns").ratio(), 1.0);
+        assert!((PaperRow::new("x", 2.0, 1.0, "ns").ratio() - 0.5).abs() < 1e-12);
+    }
+}

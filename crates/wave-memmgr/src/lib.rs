@@ -1,0 +1,27 @@
+//! # wave-memmgr — the memory-management substrate and SOL policy
+//!
+//! The paper's second offload (§4.2/§7.4): memory tiering. The host
+//! kernel keeps the mechanisms (page tables, fault handlers, TLB
+//! shootdowns); the Wave agent runs **SOL**, an ML policy that classifies
+//! 256 KiB page batches as hot or cold with Thompson sampling over a
+//! Beta prior, scans access bits on a per-batch frequency ladder
+//! (600 ms … 9.6 s), and migrates between tiers once per 38.4 s epoch.
+//!
+//! * [`pagetable`] — address spaces, PTEs with access/dirty bits, batch
+//!   views, scan costs (TLB flush per batch).
+//! * [`sol`] — the SOL policy proper: per-batch Beta posterior, Thompson
+//!   classification, the scan-frequency ladder, epoch migration. Runs
+//!   for real against the [`wave_kvstore::DbFootprint`] workload model.
+//! * [`runner`] — on-host vs. offloaded execution: the two-phase cost
+//!   model (serial memory-bound scan + parallel compute-bound
+//!   classification) whose constants are derived in closed form from the
+//!   paper's §7.4.2 duration table, plus the DMA shipping of PTEs, plus
+//!   a real multi-threaded classification executor.
+
+pub mod pagetable;
+pub mod runner;
+pub mod sol;
+
+pub use pagetable::{AddressSpace, BatchId, PageFlags};
+pub use runner::{IterationCost, RunnerConfig, SolRunner};
+pub use sol::{SolConfig, SolPolicy, SolStats};

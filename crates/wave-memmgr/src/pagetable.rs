@@ -1,0 +1,174 @@
+//! Address spaces, page-table entries, and batch views.
+//!
+//! The host kernel owns the page tables; the agent only ever sees PTE
+//! *copies* shipped over DMA and sends mapping updates back (§4.2). This
+//! module provides the kernel-side structures: a flat PTE array with
+//! access/dirty bits, grouped into SOL's 256 KiB batches, with scan
+//! costs (each scan of a batch's access bits requires a TLB flush).
+
+use wave_sim::SimTime;
+
+/// Identifier of a 256 KiB page batch (64 × 4 KiB pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BatchId(pub u32);
+
+/// Per-page flag bits, as the hardware sets them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PageFlags {
+    /// Hardware-set on any access since the last clear.
+    pub accessed: bool,
+    /// Hardware-set on any write since the last clear.
+    pub dirty: bool,
+    /// Currently resident in the fast tier.
+    pub resident: bool,
+}
+
+/// A process address space: PTE flags grouped into batches.
+#[derive(Debug)]
+pub struct AddressSpace {
+    pages_per_batch: u32,
+    flags: Vec<PageFlags>,
+    /// Cost model: flushing the TLB for one batch scan.
+    tlb_flush: SimTime,
+}
+
+impl AddressSpace {
+    /// Creates an address space of `batches` × `pages_per_batch` pages,
+    /// fully resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(batches: u32, pages_per_batch: u32) -> Self {
+        assert!(batches > 0 && pages_per_batch > 0, "empty address space");
+        AddressSpace {
+            pages_per_batch,
+            flags: vec![
+                PageFlags {
+                    accessed: false,
+                    dirty: false,
+                    resident: true,
+                };
+                batches as usize * pages_per_batch as usize
+            ],
+            tlb_flush: SimTime::from_ns(400),
+        }
+    }
+
+    /// Number of batches.
+    pub fn batches(&self) -> u32 {
+        (self.flags.len() / self.pages_per_batch as usize) as u32
+    }
+
+    /// Number of pages.
+    pub fn pages(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Pages per batch.
+    pub fn pages_per_batch(&self) -> u32 {
+        self.pages_per_batch
+    }
+
+    fn range(&self, batch: BatchId) -> std::ops::Range<usize> {
+        let start = batch.0 as usize * self.pages_per_batch as usize;
+        start..start + self.pages_per_batch as usize
+    }
+
+    /// Marks an access to page `page` of `batch` (the workload side).
+    pub fn touch(&mut self, batch: BatchId, page: u32, write: bool) {
+        let idx = self.range(batch).start + page as usize;
+        self.flags[idx].accessed = true;
+        if write {
+            self.flags[idx].dirty = true;
+        }
+    }
+
+    /// Scans and clears a batch's access bits, returning how many pages
+    /// were accessed since the last scan and the CPU cost (the TLB flush
+    /// the paper charges per scan, §4.2).
+    pub fn scan_batch(&mut self, batch: BatchId) -> (u32, SimTime) {
+        let mut touched = 0;
+        for idx in self.range(batch) {
+            if self.flags[idx].accessed {
+                touched += 1;
+                self.flags[idx].accessed = false;
+            }
+        }
+        (touched, self.tlb_flush)
+    }
+
+    /// Applies a migration decision: moves the whole batch in or out of
+    /// the fast tier. Returns how many pages changed residency.
+    pub fn set_residency(&mut self, batch: BatchId, resident: bool) -> u32 {
+        let mut changed = 0;
+        for idx in self.range(batch) {
+            if self.flags[idx].resident != resident {
+                self.flags[idx].resident = resident;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.flags.iter().filter(|f| f.resident).count()
+    }
+
+    /// Serialized PTE bytes for one batch (8 B per page), what DMA
+    /// ships to the agent.
+    pub fn batch_pte_bytes(&self) -> u64 {
+        self.pages_per_batch as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_and_scan_clears() {
+        let mut asid = AddressSpace::new(4, 64);
+        asid.touch(BatchId(1), 3, false);
+        asid.touch(BatchId(1), 7, true);
+        let (touched, cost) = asid.scan_batch(BatchId(1));
+        assert_eq!(touched, 2);
+        assert!(cost > SimTime::ZERO);
+        // Access bits cleared by the scan.
+        let (again, _) = asid.scan_batch(BatchId(1));
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn scan_is_batch_local() {
+        let mut asid = AddressSpace::new(4, 64);
+        asid.touch(BatchId(0), 0, false);
+        let (touched, _) = asid.scan_batch(BatchId(3));
+        assert_eq!(touched, 0);
+    }
+
+    #[test]
+    fn residency_transitions() {
+        let mut asid = AddressSpace::new(2, 64);
+        assert_eq!(asid.resident_pages(), 128);
+        let changed = asid.set_residency(BatchId(0), false);
+        assert_eq!(changed, 64);
+        assert_eq!(asid.resident_pages(), 64);
+        // Idempotent.
+        assert_eq!(asid.set_residency(BatchId(0), false), 0);
+        assert_eq!(asid.set_residency(BatchId(0), true), 64);
+    }
+
+    #[test]
+    fn pte_bytes() {
+        let asid = AddressSpace::new(2, 64);
+        assert_eq!(asid.batch_pte_bytes(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty address space")]
+    fn zero_batches_rejected() {
+        let _ = AddressSpace::new(0, 64);
+    }
+}

@@ -1,0 +1,315 @@
+//! The SOL policy: Thompson-sampling memory tiering (§4.2).
+//!
+//! Per page batch, SOL maintains a Beta(α, β) posterior over "this batch
+//! is hot". Each scan observes the batch's access bits (α += touched,
+//! β += untouched), draws θ ~ Beta(α, β), and classifies the batch hot if
+//! θ exceeds the threshold. Confident batches are scanned less often —
+//! the frequency ladder runs 600 ms, 1.2 s, 2.4 s, … 9.6 s (§7.4.1) —
+//! because every scan costs a TLB flush plus policy compute. Once per
+//! 38.4 s epoch (4× the slowest scan), cold batches are demoted to the
+//! slow tier and hot ones promoted back.
+
+use rand::rngs::SmallRng;
+use wave_kvstore::DbFootprint;
+use wave_sim::dist::Beta;
+use wave_sim::SimTime;
+
+/// SOL configuration (paper values by default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolConfig {
+    /// Fastest scan period (600 ms in §7.4.1).
+    pub base_period: SimTime,
+    /// Number of period doublings (600 ms … 9.6 s = 5 rungs).
+    pub period_rungs: u32,
+    /// Epoch length (4× the slowest period = 38.4 s).
+    pub epoch: SimTime,
+    /// Posterior-draw threshold above which a batch is hot.
+    pub hot_threshold: f64,
+    /// Observations before a batch may slow its scan rate.
+    pub confidence_scans: u32,
+}
+
+impl SolConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        SolConfig {
+            base_period: SimTime::from_ms(600),
+            period_rungs: 5,
+            epoch: SimTime::from_ms(38_400),
+            hot_threshold: 0.5,
+            confidence_scans: 3,
+        }
+    }
+
+    /// Slowest scan period (9.6 s for the paper config).
+    pub fn slowest_period(&self) -> SimTime {
+        self.base_period * (1 << (self.period_rungs - 1))
+    }
+}
+
+impl Default for SolConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BatchState {
+    alpha: f64,
+    beta: f64,
+    rung: u32,
+    next_scan: SimTime,
+    scans: u32,
+    classified_hot: bool,
+}
+
+/// Aggregate statistics for one policy iteration.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolStats {
+    /// Batches whose access bits were scanned this iteration.
+    pub scanned: u64,
+    /// Batches currently classified hot.
+    pub hot: u64,
+    /// Batches currently classified cold.
+    pub cold: u64,
+    /// Batches demoted at the last epoch boundary.
+    pub demoted: u64,
+    /// Batches promoted at the last epoch boundary.
+    pub promoted: u64,
+}
+
+/// The SOL agent policy state.
+#[derive(Debug)]
+pub struct SolPolicy {
+    cfg: SolConfig,
+    batches: Vec<BatchState>,
+    last_epoch: SimTime,
+}
+
+impl SolPolicy {
+    /// Creates the policy over `n` batches with an uninformative prior.
+    pub fn new(cfg: SolConfig, n: usize) -> Self {
+        assert!(n > 0, "need at least one batch");
+        SolPolicy {
+            cfg,
+            batches: vec![
+                BatchState {
+                    alpha: 1.0,
+                    beta: 1.0,
+                    rung: 0,
+                    next_scan: SimTime::ZERO,
+                    scans: 0,
+                    classified_hot: true, // optimistic: everything starts resident
+                };
+                n
+            ],
+            last_epoch: SimTime::ZERO,
+        }
+    }
+
+    /// Number of batches under management.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Whether the policy manages no batches (never true).
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Posterior mean for a batch (test/telemetry).
+    pub fn posterior_mean(&self, i: usize) -> f64 {
+        let b = &self.batches[i];
+        b.alpha / (b.alpha + b.beta)
+    }
+
+    /// Which batches are due for a scan at `now`.
+    pub fn due_batches(&self, now: SimTime) -> Vec<usize> {
+        self.batches
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.next_scan <= now)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Runs one policy iteration at `now` against the workload's access
+    /// pattern: scan due batches, update posteriors, Thompson-classify,
+    /// and adapt scan frequencies. Returns iteration statistics.
+    pub fn iterate(&mut self, now: SimTime, workload: &DbFootprint, rng: &mut SmallRng) -> SolStats {
+        let due = self.due_batches(now);
+        let mut stats = SolStats {
+            scanned: due.len() as u64,
+            ..SolStats::default()
+        };
+        for i in due {
+            let touched = workload.sample_access(i, rng);
+            let b = &mut self.batches[i];
+            if touched {
+                b.alpha += 1.0;
+            } else {
+                b.beta += 1.0;
+            }
+            b.scans += 1;
+            let theta = Beta::new(b.alpha, b.beta).sample(rng);
+            b.classified_hot = theta > self.cfg.hot_threshold;
+            // Frequency adaptation: confident batches scan slower;
+            // uncertain ones stay fast (the overhead-reduction loop the
+            // paper describes).
+            let mean = b.alpha / (b.alpha + b.beta);
+            let confident = b.scans >= self.cfg.confidence_scans && (mean - 0.5).abs() > 0.25;
+            if confident {
+                b.rung = (b.rung + 1).min(self.cfg.period_rungs - 1);
+            } else {
+                b.rung = b.rung.saturating_sub(1);
+            }
+            let period = self.cfg.base_period * (1u64 << b.rung);
+            b.next_scan = now + period;
+        }
+        for b in &self.batches {
+            if b.classified_hot {
+                stats.hot += 1;
+            } else {
+                stats.cold += 1;
+            }
+        }
+        stats
+    }
+
+    /// Whether an epoch boundary has passed since the last migration.
+    pub fn epoch_due(&self, now: SimTime) -> bool {
+        now.saturating_sub(self.last_epoch) >= self.cfg.epoch
+    }
+
+    /// Applies epoch migration: demotes cold batches, promotes hot ones.
+    /// Returns `(demoted, promoted)` batch counts.
+    pub fn epoch_migrate(&mut self, now: SimTime, footprint: &mut DbFootprint) -> (u64, u64) {
+        self.last_epoch = now;
+        let mut demoted = 0;
+        let mut promoted = 0;
+        for (i, b) in self.batches.iter().enumerate() {
+            if b.classified_hot && !footprint.is_resident(i) {
+                footprint.promote(i);
+                promoted += 1;
+            } else if !b.classified_hot && footprint.is_resident(i) {
+                footprint.demote(i);
+                demoted += 1;
+            }
+        }
+        (demoted, promoted)
+    }
+
+    /// Mean scan-ladder rung across batches (0 = fastest).
+    pub fn mean_rung(&self) -> f64 {
+        self.batches.iter().map(|b| b.rung as f64).sum::<f64>() / self.batches.len() as f64
+    }
+
+    /// Classification accuracy against the workload oracle (tests).
+    pub fn accuracy(&self, workload: &DbFootprint) -> f64 {
+        let correct = self
+            .batches
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| b.classified_hot == workload.is_hot(*i))
+            .count();
+        correct as f64 / self.batches.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_kvstore::{AccessPattern, FootprintConfig};
+
+    fn small_world() -> (DbFootprint, SolPolicy, SmallRng) {
+        let cfg = FootprintConfig::paper(0.002); // ~835 batches
+        let fp = DbFootprint::new(cfg, AccessPattern::Scattered, 7);
+        let policy = SolPolicy::new(SolConfig::paper(), fp.batches());
+        (fp, policy, wave_sim::rng(11))
+    }
+
+    /// Drives scan iterations every base period for `epochs` epochs.
+    fn run_epochs(
+        fp: &mut DbFootprint,
+        policy: &mut SolPolicy,
+        rng: &mut SmallRng,
+        epochs: u32,
+    ) -> SolStats {
+        let cfg = SolConfig::paper();
+        let mut now = SimTime::ZERO;
+        let mut last = SolStats::default();
+        for _ in 0..epochs {
+            let end = now + cfg.epoch;
+            while now < end {
+                last = policy.iterate(now, fp, rng);
+                now += cfg.base_period;
+            }
+            let (d, p) = policy.epoch_migrate(now, fp);
+            last.demoted = d;
+            last.promoted = p;
+        }
+        last
+    }
+
+    #[test]
+    fn classification_converges_to_hot_fraction() {
+        let (mut fp, mut policy, mut rng) = small_world();
+        run_epochs(&mut fp, &mut policy, &mut rng, 3);
+        let acc = policy.accuracy(&fp);
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn footprint_drops_79_percent_after_three_epochs() {
+        // The §7.4.2 headline: ~102 GiB -> ~21.3 GiB (-79%).
+        let (mut fp, mut policy, mut rng) = small_world();
+        run_epochs(&mut fp, &mut policy, &mut rng, 3);
+        let frac = fp.resident_fraction();
+        assert!(
+            (frac - 0.21).abs() < 0.05,
+            "resident fraction {frac} (paper: 0.209)"
+        );
+    }
+
+    #[test]
+    fn scan_frequency_adapts_down() {
+        let (mut fp, mut policy, mut rng) = small_world();
+        let initial = policy.mean_rung();
+        run_epochs(&mut fp, &mut policy, &mut rng, 2);
+        // After convergence most batches should sit on slow rungs; the
+        // mean rung must climb well past the starting point.
+        let converged = policy.mean_rung();
+        assert_eq!(initial, 0.0);
+        assert!(
+            converged > 2.5,
+            "mean rung {converged} — ladder should slow confident batches"
+        );
+    }
+
+    #[test]
+    fn epoch_boundary_detection() {
+        let (_fp, mut policy, _rng) = small_world();
+        assert!(!policy.epoch_due(SimTime::from_ms(100)));
+        assert!(policy.epoch_due(SimTime::from_ms(38_400)));
+        let cfgfp = FootprintConfig::paper(0.002);
+        let mut fp = DbFootprint::new(cfgfp, AccessPattern::Clustered, 1);
+        policy.epoch_migrate(SimTime::from_ms(38_400), &mut fp);
+        assert!(!policy.epoch_due(SimTime::from_ms(38_500)));
+    }
+
+    #[test]
+    fn posterior_moves_with_evidence() {
+        let cfg = FootprintConfig::paper(0.002);
+        let fp = DbFootprint::new(cfg, AccessPattern::Clustered, 3);
+        let mut policy = SolPolicy::new(SolConfig::paper(), fp.batches());
+        let mut rng = wave_sim::rng(5);
+        // Clustered: batch 0 is hot, the last is cold.
+        let last = fp.batches() - 1;
+        for step in 0..40u64 {
+            let now = SimTime::from_ms(600 * (step + 1) * 16); // all due
+            policy.iterate(now, &fp, &mut rng);
+        }
+        assert!(policy.posterior_mean(0) > 0.7, "{}", policy.posterior_mean(0));
+        assert!(policy.posterior_mean(last) < 0.3, "{}", policy.posterior_mean(last));
+    }
+}

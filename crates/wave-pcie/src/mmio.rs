@@ -1,0 +1,628 @@
+//! Host-side MMIO with PTE typing, caching, and software coherence.
+//!
+//! This module is the mechanical heart of the reproduction. The paper's
+//! §5.3 optimizations all live here:
+//!
+//! * **Write-combining stores** (§5.3.1): stores to a WC-mapped region
+//!   accumulate per cache line in the CPU's write-combining buffer. They
+//!   become visible in SmartNIC DRAM when the line fills (auto-drain) or
+//!   when the producer executes [`HostMmio::sfence`]. Until then the NIC
+//!   cannot see them — a real reordering window the queue layer must (and
+//!   does) handle with its valid-flag protocol.
+//! * **Write-through cached loads** (§5.3.2): the first load of a
+//!   WT-mapped line costs a full 750 ns PCIe round trip and installs a
+//!   64-byte *snapshot*; subsequent loads hit for ~2 ns but return data
+//!   as of the snapshot time. PCIe has no coherence, so when the NIC
+//!   overwrites the line the snapshot silently goes stale; Wave's
+//!   software coherence protocol (`clflush` on MSI-X receipt) evicts the
+//!   snapshot so the next load refetches. We model staleness exactly:
+//!   readers observe a region's state *as of their snapshot time*.
+//! * **Prefetch** (§5.4): a non-blocking fill; the line becomes ready
+//!   `mmio_read_ns` later, and a subsequent load either hits (free) or
+//!   blocks only for the remaining fill time.
+//! * **Coherent mode** (§7.3.3): with a UPI/CXL-style interconnect the
+//!   same API provides hardware coherence — device writes invalidate host
+//!   snapshots automatically and `clflush` becomes a no-op.
+
+use std::collections::HashMap;
+
+use crate::config::PcieConfig;
+use crate::pte::PteType;
+use wave_sim::SimTime;
+
+/// Identifier of a mapped MMIO region (one per Wave queue, typically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+/// A cache-line address inside a mapped region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineAddr {
+    /// The containing region.
+    pub region: RegionId,
+    /// Line index within the region.
+    pub line: u64,
+}
+
+impl LineAddr {
+    /// Convenience constructor.
+    pub fn new(region: RegionId, line: u64) -> Self {
+        LineAddr { region, line }
+    }
+}
+
+/// Outcome of a host load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadOutcome {
+    /// CPU time the load blocks the host core.
+    pub cpu: SimTime,
+    /// The freshness of the data the load returns: the reader observes
+    /// device memory *as of this instant*. A stale WT hit returns a
+    /// snapshot taken long ago; an uncached read returns (essentially)
+    /// current data.
+    pub snapshot_at: SimTime,
+    /// Whether the load hit a CPU cache (for telemetry/tests).
+    pub hit: bool,
+}
+
+/// Outcome of a host store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteOutcome {
+    /// CPU time the store(s) cost the host core.
+    pub cpu: SimTime,
+    /// When the data becomes visible in SmartNIC DRAM. `None` means the
+    /// store is still sitting in the write-combining buffer and needs an
+    /// [`HostMmio::sfence`] (or line fill) to become visible.
+    pub visible_at: Option<SimTime>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheLine {
+    /// When the fill completes (future for an in-flight prefetch).
+    ready_at: SimTime,
+    /// Freshness of the snapshot held in the line.
+    snapshot_at: SimTime,
+}
+
+#[derive(Debug, Default, Clone)]
+struct WcLine {
+    pending_words: u64,
+}
+
+#[derive(Debug)]
+struct Region {
+    pte: PteType,
+    lines: u64,
+    cache: HashMap<u64, CacheLine>,
+    wc: HashMap<u64, WcLine>,
+    /// Last device-side write per line — drives hardware-coherence
+    /// invalidation in UPI mode and staleness assertions in tests.
+    device_writes: HashMap<u64, SimTime>,
+}
+
+/// Telemetry counters for the MMIO model.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MmioStats {
+    /// Loads that paid the full PCIe round trip.
+    pub read_misses: u64,
+    /// Loads served from a cached snapshot.
+    pub read_hits: u64,
+    /// Loads that blocked on an in-flight prefetch.
+    pub read_fill_waits: u64,
+    /// 64-bit stores issued.
+    pub writes: u64,
+    /// Explicit `sfence` drains.
+    pub fences: u64,
+    /// Lines auto-drained because the WC buffer filled.
+    pub wc_autodrains: u64,
+    /// `clflush` invocations.
+    pub flushes: u64,
+    /// Prefetches issued.
+    pub prefetches: u64,
+}
+
+/// Host-side MMIO state machine.
+///
+/// # Examples
+///
+/// ```
+/// use wave_pcie::{HostMmio, LineAddr, PcieConfig, PteType};
+/// use wave_sim::SimTime;
+///
+/// let mut mmio = HostMmio::new(PcieConfig::pcie());
+/// let region = mmio.map_region(PteType::WriteThrough, 16);
+/// let addr = LineAddr::new(region, 0);
+///
+/// // First read misses (750 ns)...
+/// let first = mmio.read(SimTime::ZERO, addr);
+/// assert_eq!(first.cpu, SimTime::from_ns(750));
+/// // ...subsequent reads of the same line hit.
+/// let second = mmio.read(SimTime::from_us(1), addr);
+/// assert!(second.hit);
+/// ```
+#[derive(Debug)]
+pub struct HostMmio {
+    cfg: PcieConfig,
+    regions: Vec<Region>,
+    stats: MmioStats,
+}
+
+impl HostMmio {
+    /// Creates an MMIO model with no mapped regions.
+    pub fn new(cfg: PcieConfig) -> Self {
+        HostMmio {
+            cfg,
+            regions: Vec::new(),
+            stats: MmioStats::default(),
+        }
+    }
+
+    /// Maps a region of SmartNIC memory with the given PTE type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pte` is [`PteType::WriteBack`] on a non-coherent
+    /// interconnect (hardware forbids it) or if `lines == 0`.
+    pub fn map_region(&mut self, pte: PteType, lines: u64) -> RegionId {
+        assert!(lines > 0, "cannot map an empty region");
+        assert!(
+            !pte.requires_coherence() || self.cfg.is_coherent(),
+            "write-back host mappings of device memory require a coherent interconnect"
+        );
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(Region {
+            pte,
+            lines,
+            cache: HashMap::new(),
+            wc: HashMap::new(),
+            device_writes: HashMap::new(),
+        });
+        id
+    }
+
+    /// Changes the PTE type of a region (Wave's `SET_QUEUE_TYPE`),
+    /// dropping all cached/buffered state.
+    ///
+    /// # Panics
+    ///
+    /// Same constraints as [`HostMmio::map_region`].
+    pub fn set_pte(&mut self, region: RegionId, pte: PteType) {
+        assert!(
+            !pte.requires_coherence() || self.cfg.is_coherent(),
+            "write-back host mappings of device memory require a coherent interconnect"
+        );
+        let r = self.region_mut(region);
+        r.pte = pte;
+        r.cache.clear();
+        r.wc.clear();
+    }
+
+    /// The PTE type of a region.
+    pub fn pte(&self, region: RegionId) -> PteType {
+        self.regions[region.0 as usize].pte
+    }
+
+    /// Telemetry counters.
+    pub fn stats(&self) -> MmioStats {
+        self.stats
+    }
+
+    fn region_mut(&mut self, region: RegionId) -> &mut Region {
+        &mut self.regions[region.0 as usize]
+    }
+
+    /// Records that the SmartNIC wrote `addr` at time `at`.
+    ///
+    /// On PCIe this only feeds staleness bookkeeping (host snapshots are
+    /// *not* invalidated — that is exactly the §5.3.2 hazard). On a
+    /// coherent interconnect it invalidates the host's cached line, like
+    /// hardware would.
+    pub fn note_device_write(&mut self, addr: LineAddr, at: SimTime) {
+        let coherent = self.cfg.is_coherent();
+        let r = self.region_mut(addr.region);
+        let entry = r.device_writes.entry(addr.line).or_insert(at);
+        *entry = (*entry).max(at);
+        if coherent {
+            r.cache.remove(&addr.line);
+        }
+    }
+
+    /// Host load of one 64-bit word in `addr`'s line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line index is out of bounds for the region.
+    pub fn read(&mut self, now: SimTime, addr: LineAddr) -> ReadOutcome {
+        let read_ns = self.cfg.mmio_read_ns;
+        let hit_ns = self.cfg.wt_hit_ns;
+        let one_way = self.cfg.one_way_ns;
+        enum Kind {
+            Miss,
+            Hit,
+            FillWait,
+        }
+        let coherent = self.cfg.is_coherent();
+        let (outcome, kind) = {
+            let r = self.region_mut(addr.region);
+            assert!(addr.line < r.lines, "line {} out of bounds", addr.line);
+            // Hardware coherence: a device store that has landed since
+            // our snapshot invalidates the cached copy, even if the line
+            // was filled while the store was still in flight.
+            if coherent {
+                let stale = match (r.cache.get(&addr.line), r.device_writes.get(&addr.line)) {
+                    (Some(line), Some(&w)) => w > line.snapshot_at && w <= now,
+                    _ => false,
+                };
+                if stale {
+                    r.cache.remove(&addr.line);
+                }
+            }
+            match r.pte {
+                PteType::Uncacheable | PteType::WriteCombining => (
+                    // WC does not cache loads either; both pay the round
+                    // trip.
+                    ReadOutcome {
+                        cpu: SimTime::from_ns(read_ns),
+                        snapshot_at: now + SimTime::from_ns(one_way),
+                        hit: false,
+                    },
+                    Kind::Miss,
+                ),
+                PteType::WriteThrough | PteType::WriteBack => {
+                    if let Some(line) = r.cache.get(&addr.line).copied() {
+                        if line.ready_at <= now {
+                            // Plain hit: may be stale; reader sees the
+                            // old snapshot.
+                            (
+                                ReadOutcome {
+                                    cpu: SimTime::from_ns(hit_ns),
+                                    snapshot_at: line.snapshot_at,
+                                    hit: true,
+                                },
+                                Kind::Hit,
+                            )
+                        } else {
+                            // In-flight fill (prefetch racing the read):
+                            // block for the remainder.
+                            (
+                                ReadOutcome {
+                                    cpu: line.ready_at.saturating_sub(now)
+                                        + SimTime::from_ns(hit_ns),
+                                    snapshot_at: line.snapshot_at,
+                                    hit: false,
+                                },
+                                Kind::FillWait,
+                            )
+                        }
+                    } else {
+                        // Miss: full round trip; install a snapshot.
+                        let snapshot_at = now + SimTime::from_ns(one_way);
+                        r.cache.insert(
+                            addr.line,
+                            CacheLine {
+                                ready_at: now + SimTime::from_ns(read_ns),
+                                snapshot_at,
+                            },
+                        );
+                        (
+                            ReadOutcome {
+                                cpu: SimTime::from_ns(read_ns),
+                                snapshot_at,
+                                hit: false,
+                            },
+                            Kind::Miss,
+                        )
+                    }
+                }
+            }
+        };
+        match kind {
+            Kind::Miss => self.stats.read_misses += 1,
+            Kind::Hit => self.stats.read_hits += 1,
+            Kind::FillWait => self.stats.read_fill_waits += 1,
+        }
+        outcome
+    }
+
+    /// Host store of `words` 64-bit words into `addr`'s line.
+    ///
+    /// For UC/WT mappings the store is posted directly (visible after the
+    /// one-way transit). For WC mappings it lands in the write-combining
+    /// buffer and the outcome's `visible_at` is `None` unless this store
+    /// filled the line (auto-drain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line index is out of bounds for the region.
+    pub fn write(&mut self, now: SimTime, addr: LineAddr, words: u64) -> WriteOutcome {
+        let uc_ns = self.cfg.mmio_write_uc_ns;
+        let wc_ns = self.cfg.mmio_write_wc_ns;
+        let one_way = self.cfg.one_way_ns;
+        let words_per_line = self.cfg.words_per_line();
+        self.stats.writes += words;
+        let mut autodrained = false;
+        let r = self.region_mut(addr.region);
+        assert!(addr.line < r.lines, "line {} out of bounds", addr.line);
+        let outcome = match r.pte {
+            PteType::Uncacheable | PteType::WriteThrough | PteType::WriteBack => {
+                let cpu = SimTime::from_ns(uc_ns * words);
+                // Write-through also refreshes the local snapshot if the
+                // line is cached (stores go to cache and memory).
+                if let Some(line) = r.cache.get_mut(&addr.line) {
+                    line.snapshot_at = line.snapshot_at.max(now);
+                }
+                WriteOutcome {
+                    cpu,
+                    visible_at: Some(now + cpu + SimTime::from_ns(one_way)),
+                }
+            }
+            PteType::WriteCombining => {
+                let cpu = SimTime::from_ns(wc_ns * words);
+                let wc = r.wc.entry(addr.line).or_default();
+                wc.pending_words += words;
+                if wc.pending_words >= words_per_line {
+                    // Line filled: the buffer auto-drains this line.
+                    r.wc.remove(&addr.line);
+                    autodrained = true;
+                    WriteOutcome {
+                        cpu,
+                        visible_at: Some(now + cpu + SimTime::from_ns(one_way)),
+                    }
+                } else {
+                    WriteOutcome { cpu, visible_at: None }
+                }
+            }
+        };
+        if autodrained {
+            self.stats.wc_autodrains += 1;
+        }
+        outcome
+    }
+
+    /// Drains the write-combining buffer (`sfence`). All buffered stores
+    /// across all WC regions become visible at the returned
+    /// `visible_at`.
+    pub fn sfence(&mut self, now: SimTime) -> WriteOutcome {
+        self.stats.fences += 1;
+        let cpu = SimTime::from_ns(self.cfg.wc_flush_ns);
+        for r in &mut self.regions {
+            r.wc.clear();
+        }
+        WriteOutcome {
+            cpu,
+            visible_at: Some(now + cpu + SimTime::from_ns(self.cfg.one_way_ns)),
+        }
+    }
+
+    /// Evicts `addr`'s line from the host cache (`clflush`) — the
+    /// software-coherence step Wave performs when an MSI-X announces
+    /// fresh decisions (§5.3.2). No-op (and free) on coherent
+    /// interconnects.
+    pub fn clflush(&mut self, _now: SimTime, addr: LineAddr) -> SimTime {
+        if self.cfg.is_coherent() {
+            return SimTime::ZERO;
+        }
+        self.stats.flushes += 1;
+        let r = self.region_mut(addr.region);
+        r.cache.remove(&addr.line);
+        SimTime::from_ns(self.cfg.clflush_ns)
+    }
+
+    /// Issues a non-blocking prefetch of `addr`'s line (§5.4). If the
+    /// line is already cached (even stale!) this is a no-op, exactly like
+    /// a hardware prefetch hitting in cache — flush first to refetch.
+    /// Returns the (tiny) CPU cost of issuing.
+    pub fn prefetch(&mut self, now: SimTime, addr: LineAddr) -> SimTime {
+        let read_ns = self.cfg.mmio_read_ns;
+        let one_way = self.cfg.one_way_ns;
+        let pte = self.regions[addr.region.0 as usize].pte;
+        if !pte.caches_loads() {
+            // Prefetching an uncacheable line has no effect.
+            return SimTime::ZERO;
+        }
+        self.stats.prefetches += 1;
+        let r = self.region_mut(addr.region);
+        assert!(addr.line < r.lines, "line {} out of bounds", addr.line);
+        r.cache.entry(addr.line).or_insert(CacheLine {
+            ready_at: now + SimTime::from_ns(read_ns),
+            snapshot_at: now + SimTime::from_ns(one_way),
+        });
+        SimTime::from_ns(self.cfg.prefetch_issue_ns)
+    }
+
+    /// Whether the host's view of `addr` is stale, i.e. the device wrote
+    /// the line after the host's cached snapshot was taken. Used by tests
+    /// to prove the coherence hazard is real.
+    pub fn is_stale(&self, addr: LineAddr) -> bool {
+        let r = &self.regions[addr.region.0 as usize];
+        match (r.cache.get(&addr.line), r.device_writes.get(&addr.line)) {
+            (Some(line), Some(&w)) => w > line.snapshot_at,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mmio(pte: PteType) -> (HostMmio, LineAddr) {
+        let mut m = HostMmio::new(PcieConfig::pcie());
+        let r = m.map_region(pte, 64);
+        (m, LineAddr::new(r, 0))
+    }
+
+    #[test]
+    fn uncacheable_read_is_750ns_every_time() {
+        let (mut m, a) = mmio(PteType::Uncacheable);
+        for i in 0..3 {
+            let out = m.read(SimTime::from_us(i), a);
+            assert_eq!(out.cpu, SimTime::from_ns(750));
+            assert!(!out.hit);
+        }
+        assert_eq!(m.stats().read_misses, 3);
+    }
+
+    #[test]
+    fn wt_second_read_hits() {
+        let (mut m, a) = mmio(PteType::WriteThrough);
+        let miss = m.read(SimTime::ZERO, a);
+        assert_eq!(miss.cpu, SimTime::from_ns(750));
+        let hit = m.read(SimTime::from_us(2), a);
+        assert_eq!(hit.cpu, SimTime::from_ns(2));
+        assert!(hit.hit);
+        assert_eq!(m.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn wt_hit_returns_stale_snapshot() {
+        let (mut m, a) = mmio(PteType::WriteThrough);
+        let first = m.read(SimTime::ZERO, a);
+        // Device writes after our snapshot...
+        m.note_device_write(a, SimTime::from_us(5));
+        // ...and the cached hit does NOT see it.
+        let hit = m.read(SimTime::from_us(10), a);
+        assert_eq!(hit.snapshot_at, first.snapshot_at);
+        assert!(m.is_stale(a));
+    }
+
+    #[test]
+    fn clflush_restores_freshness() {
+        let (mut m, a) = mmio(PteType::WriteThrough);
+        let _ = m.read(SimTime::ZERO, a);
+        m.note_device_write(a, SimTime::from_us(5));
+        assert!(m.is_stale(a));
+        let cost = m.clflush(SimTime::from_us(6), a);
+        assert_eq!(cost, SimTime::from_ns(20));
+        let fresh = m.read(SimTime::from_us(10), a);
+        assert_eq!(fresh.cpu, SimTime::from_ns(750));
+        assert!(fresh.snapshot_at > SimTime::from_us(5));
+        assert!(!m.is_stale(a));
+    }
+
+    #[test]
+    fn prefetch_makes_later_read_free() {
+        let (mut m, a) = mmio(PteType::WriteThrough);
+        let cost = m.prefetch(SimTime::ZERO, a);
+        assert_eq!(cost, SimTime::from_ns(2));
+        // 1 us later (> 750 ns fill), the read hits.
+        let read = m.read(SimTime::from_us(1), a);
+        assert_eq!(read.cpu, SimTime::from_ns(2));
+        assert!(read.hit);
+    }
+
+    #[test]
+    fn read_blocks_on_inflight_prefetch() {
+        let (mut m, a) = mmio(PteType::WriteThrough);
+        m.prefetch(SimTime::ZERO, a);
+        // Read at 300 ns: fill completes at 750, so we block ~450 ns.
+        let read = m.read(SimTime::from_ns(300), a);
+        assert_eq!(read.cpu, SimTime::from_ns(450 + 2));
+        assert!(!read.hit);
+        assert_eq!(m.stats().read_fill_waits, 1);
+    }
+
+    #[test]
+    fn prefetch_on_cached_stale_line_is_noop() {
+        let (mut m, a) = mmio(PteType::WriteThrough);
+        let first = m.read(SimTime::ZERO, a);
+        m.note_device_write(a, SimTime::from_us(1));
+        m.prefetch(SimTime::from_us(2), a);
+        let hit = m.read(SimTime::from_us(3), a);
+        // Still the stale snapshot: prefetch cannot refresh a cached line.
+        assert_eq!(hit.snapshot_at, first.snapshot_at);
+        assert!(m.is_stale(a));
+    }
+
+    #[test]
+    fn uc_write_visible_after_one_way() {
+        let (mut m, a) = mmio(PteType::Uncacheable);
+        let w = m.write(SimTime::ZERO, a, 1);
+        assert_eq!(w.cpu, SimTime::from_ns(50));
+        assert_eq!(w.visible_at, Some(SimTime::from_ns(50 + 350)));
+    }
+
+    #[test]
+    fn wc_write_buffers_until_fence() {
+        let (mut m, a) = mmio(PteType::WriteCombining);
+        let w = m.write(SimTime::ZERO, a, 4);
+        assert_eq!(w.cpu, SimTime::from_ns(40));
+        assert_eq!(w.visible_at, None, "buffered in WC buffer");
+        let f = m.sfence(SimTime::from_ns(40));
+        assert_eq!(f.cpu, SimTime::from_ns(50));
+        assert_eq!(f.visible_at, Some(SimTime::from_ns(40 + 50 + 350)));
+    }
+
+    #[test]
+    fn wc_line_fill_autodrains() {
+        let (mut m, a) = mmio(PteType::WriteCombining);
+        let w = m.write(SimTime::ZERO, a, 8); // full 64-byte line
+        assert!(w.visible_at.is_some());
+        assert_eq!(m.stats().wc_autodrains, 1);
+    }
+
+    #[test]
+    fn wc_writes_cheaper_than_uc() {
+        let (mut m_wc, a_wc) = mmio(PteType::WriteCombining);
+        let (mut m_uc, a_uc) = mmio(PteType::Uncacheable);
+        let wc_total = m_wc.write(SimTime::ZERO, a_wc, 4).cpu + m_wc.sfence(SimTime::ZERO).cpu;
+        let uc_total = m_uc.write(SimTime::ZERO, a_uc, 4).cpu;
+        assert!(wc_total < uc_total, "{wc_total} !< {uc_total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "coherent interconnect")]
+    fn wb_mapping_rejected_on_pcie() {
+        let mut m = HostMmio::new(PcieConfig::pcie());
+        let _ = m.map_region(PteType::WriteBack, 1);
+    }
+
+    #[test]
+    fn coherent_mode_invalidates_on_device_write() {
+        let mut m = HostMmio::new(PcieConfig::coherent_upi());
+        let r = m.map_region(PteType::WriteBack, 8);
+        let a = LineAddr::new(r, 0);
+        let _ = m.read(SimTime::ZERO, a);
+        let hit = m.read(SimTime::from_us(1), a);
+        assert!(hit.hit);
+        m.note_device_write(a, SimTime::from_us(2));
+        // Hardware coherence: next read misses and sees fresh data.
+        let fresh = m.read(SimTime::from_us(3), a);
+        assert!(!fresh.hit);
+        assert!(fresh.snapshot_at > SimTime::from_us(2));
+        assert!(!m.is_stale(a));
+    }
+
+    #[test]
+    fn coherent_clflush_is_free() {
+        let mut m = HostMmio::new(PcieConfig::coherent_upi());
+        let r = m.map_region(PteType::WriteBack, 8);
+        assert_eq!(m.clflush(SimTime::ZERO, LineAddr::new(r, 0)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn set_pte_clears_state() {
+        let (mut m, a) = mmio(PteType::WriteThrough);
+        let _ = m.read(SimTime::ZERO, a);
+        m.set_pte(a.region, PteType::Uncacheable);
+        let out = m.read(SimTime::from_us(1), a);
+        assert_eq!(out.cpu, SimTime::from_ns(750));
+        assert_eq!(m.pte(a.region), PteType::Uncacheable);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_rejects_out_of_bounds() {
+        let (mut m, a) = mmio(PteType::Uncacheable);
+        let _ = m.read(SimTime::ZERO, LineAddr::new(a.region, 64));
+    }
+
+    #[test]
+    fn wt_store_refreshes_local_snapshot() {
+        let (mut m, a) = mmio(PteType::WriteThrough);
+        let _ = m.read(SimTime::ZERO, a);
+        let _ = m.write(SimTime::from_us(2), a, 1);
+        let hit = m.read(SimTime::from_us(3), a);
+        assert!(hit.hit);
+        assert!(hit.snapshot_at >= SimTime::from_us(2));
+    }
+}

@@ -1,0 +1,84 @@
+//! SmartNIC SoC-side memory access costs.
+//!
+//! Wave queues are always backed by SmartNIC DRAM (only the NIC exposes
+//! its memory over MMIO), so NIC agents access them as plain local
+//! memory. *How* that memory is mapped on the SoC matters: the paper's
+//! Table 3 shows "opening a decision and sending an MSI-X" drop from
+//! 1013 ns to 426 ns when the SoC mapping switches from uncached to
+//! write-back ("with WB PTEs on SmartNIC", §5.3.1).
+//!
+//! We decompose those anchors as: 8-word decision write + ioctl MSI-X
+//! send (340 ns) ⇒ ~84 ns/word uncached, ~11 ns/word write-back.
+
+use crate::config::PcieConfig;
+use wave_sim::SimTime;
+
+/// How the agent maps queue memory on the SmartNIC SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SocPteMode {
+    /// Device-style uncached mapping (the unoptimized baseline).
+    #[default]
+    Uncached,
+    /// Cacheable write-back mapping — the SoC is coherent with its own
+    /// DRAM, so this is safe and much faster.
+    WriteBack,
+}
+
+/// Cost model for SmartNIC-core accesses to SmartNIC DRAM.
+#[derive(Debug, Clone)]
+pub struct NicSoc {
+    cfg: PcieConfig,
+    accesses: u64,
+}
+
+impl NicSoc {
+    /// Creates the SoC model from the shared interconnect config.
+    pub fn new(cfg: PcieConfig) -> Self {
+        NicSoc { cfg, accesses: 0 }
+    }
+
+    /// Cost of accessing `words` 64-bit words of queue memory from a NIC
+    /// core under the given SoC mapping.
+    pub fn access(&mut self, mode: SocPteMode, words: u64) -> SimTime {
+        self.accesses += words;
+        let per_word = match mode {
+            SocPteMode::Uncached => self.cfg.soc_uncached_word_ns,
+            SocPteMode::WriteBack => self.cfg.soc_wb_word_ns,
+        };
+        SimTime::from_ns(per_word * words)
+    }
+
+    /// Total words accessed (for tests/telemetry).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wb_is_cheaper() {
+        let mut soc = NicSoc::new(PcieConfig::pcie());
+        let uc = soc.access(SocPteMode::Uncached, 8);
+        let wb = soc.access(SocPteMode::WriteBack, 8);
+        assert!(wb < uc);
+        assert_eq!(uc, SimTime::from_ns(8 * 84));
+        assert_eq!(wb, SimTime::from_ns(8 * 11));
+        assert_eq!(soc.accesses(), 16);
+    }
+
+    #[test]
+    fn table3_open_decision_anchors() {
+        // Decision open = write one 8-word line + ioctl MSI-X send.
+        let cfg = PcieConfig::pcie();
+        let mut soc = NicSoc::new(cfg.clone());
+        let uc_total =
+            soc.access(SocPteMode::Uncached, 8).as_ns() + cfg.msix_send_ioctl_ns;
+        let wb_total =
+            soc.access(SocPteMode::WriteBack, 8).as_ns() + cfg.msix_send_ioctl_ns;
+        assert!((uc_total as i64 - 1_013).unsigned_abs() < 40, "uc {uc_total}");
+        assert!((wb_total as i64 - 426).unsigned_abs() < 40, "wb {wb_total}");
+    }
+}

@@ -1,0 +1,104 @@
+//! The RPC wire header.
+//!
+//! §7.3.2: "Each RPC request includes an SLO in its payload, which the
+//! RPC stack passes to the scheduler." The header is what the
+//! OnHost-Schedule scenario's host scheduler must fetch over PCIe — one
+//! uncached MMIO word per header word — which is exactly why that
+//! scenario saturates so much lower.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// An RPC request header as carried in queue entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcHeader {
+    /// Request id (for response matching).
+    pub id: u64,
+    /// Flow/connection identifier (RSS hashes this).
+    pub flow: u64,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// SLO class carried in the payload (0 = latency-critical).
+    pub slo: u8,
+    /// Method discriminator (0 = GET, 1 = RANGE in the RocksDB app).
+    pub method: u8,
+}
+
+impl RpcHeader {
+    /// Number of 64-bit queue words a header occupies on the wire.
+    pub const WIRE_WORDS: u64 = 3;
+
+    /// Encodes the header into its wire representation.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity((Self::WIRE_WORDS * 8) as usize);
+        buf.put_u64_le(self.id);
+        buf.put_u64_le(self.flow);
+        buf.put_u32_le(self.payload_len);
+        buf.put_u8(self.slo);
+        buf.put_u8(self.method);
+        buf.put_u16_le(0); // reserved
+        buf.freeze()
+    }
+
+    /// Decodes a header from its wire representation.
+    ///
+    /// Returns `None` if `bytes` is too short.
+    pub fn decode(mut bytes: Bytes) -> Option<Self> {
+        if bytes.len() < (Self::WIRE_WORDS * 8) as usize {
+            return None;
+        }
+        let id = bytes.get_u64_le();
+        let flow = bytes.get_u64_le();
+        let payload_len = bytes.get_u32_le();
+        let slo = bytes.get_u8();
+        let method = bytes.get_u8();
+        let _reserved = bytes.get_u16_le();
+        Some(RpcHeader {
+            id,
+            flow,
+            payload_len,
+            slo,
+            method,
+        })
+    }
+
+    /// Header + payload words for a queue entry (rounded up).
+    pub fn entry_words(&self) -> u64 {
+        Self::WIRE_WORDS + (self.payload_len as u64).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> RpcHeader {
+        RpcHeader {
+            id: 42,
+            flow: 0xdead_beef,
+            payload_len: 100,
+            slo: 1,
+            method: 0,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let h = header();
+        let wire = h.encode();
+        assert_eq!(wire.len(), 24);
+        let back = RpcHeader::decode(wire).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn decode_rejects_short_input() {
+        assert!(RpcHeader::decode(Bytes::from_static(&[0u8; 8])).is_none());
+    }
+
+    #[test]
+    fn entry_words_rounds_up() {
+        let h = header();
+        // 3 header words + ceil(100/8)=13 payload words.
+        assert_eq!(h.entry_words(), 16);
+    }
+}

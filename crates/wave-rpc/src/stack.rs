@@ -1,0 +1,140 @@
+//! RPC stack placement and cost models.
+//!
+//! §7.3's three scenarios differ in *where* the TCP/RPC protocol work
+//! runs and *what memory* separates the stack from the RocksDB workers.
+//! [`StackModel`] captures both, producing the ingress parameters the
+//! scheduling simulation consumes.
+
+use wave_pcie::PcieConfig;
+use wave_sim::cpu::CoreClass;
+use wave_sim::SimTime;
+
+/// Where the RPC stack's protocol processing runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcPlacement {
+    /// On host cores, packets DMA'd from the NIC (vanilla Stubby).
+    Host,
+    /// On SmartNIC ARM cores (the offloaded data plane).
+    Nic,
+}
+
+/// Cost model for one RPC-stack deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackModel {
+    /// Placement of protocol processing.
+    pub placement: RpcPlacement,
+    /// Number of stack cores.
+    pub cores: u32,
+    /// Host-reference CPU per RPC (TCP processing, deserialization,
+    /// dispatch). The paper quotes "a few µs" (§4.3); we use 2 µs.
+    pub per_rpc: SimTime,
+    /// Wire + NIC hardware latency before the stack sees the packet.
+    pub network_delay: SimTime,
+}
+
+impl StackModel {
+    /// The OnHost-All deployment: "The RPC stack uses 8 cores" on the
+    /// host; packets are DMA'd up first.
+    pub fn onhost() -> Self {
+        StackModel {
+            placement: RpcPlacement::Host,
+            cores: 8,
+            per_rpc: SimTime::from_us(2),
+            network_delay: SimTime::from_us(3),
+        }
+    }
+
+    /// The offloaded deployment: the stack shares the SmartNIC's 16 ARM
+    /// cores with the agent; we give protocol processing 12 of them
+    /// (the agent and the NIC OS use the rest). No host DMA hop.
+    pub fn offloaded() -> Self {
+        StackModel {
+            placement: RpcPlacement::Nic,
+            cores: 12,
+            per_rpc: SimTime::from_us(2),
+            network_delay: SimTime::from_us(1),
+        }
+    }
+
+    /// Which core class runs the stack.
+    pub fn core_class(&self) -> CoreClass {
+        match self.placement {
+            RpcPlacement::Host => CoreClass::HostX86,
+            RpcPlacement::Nic => CoreClass::NicArm,
+        }
+    }
+
+    /// Worker-side cost to *receive* one RPC (16-word entry: 3 header
+    /// words + small payload), given where the stack's queues live.
+    ///
+    /// * stack on host ⇒ coherent shared memory: ~2 cache misses;
+    /// * stack on NIC ⇒ per-core MMIO queues: one WT line miss per line
+    ///   plus cached hits for the rest (§4.3 "MMIO for communication").
+    pub fn worker_receive(&self, pcie: &PcieConfig) -> SimTime {
+        let entry_words = 16u64;
+        match self.placement {
+            RpcPlacement::Host => SimTime::from_ns(2 * 80),
+            RpcPlacement::Nic => {
+                let lines = entry_words.div_ceil(pcie.words_per_line());
+                let hits = entry_words - lines;
+                SimTime::from_ns(lines * pcie.mmio_read_ns + hits * pcie.wt_hit_ns)
+            }
+        }
+    }
+
+    /// Worker-side cost to post the response (write-combined stores when
+    /// crossing PCIe).
+    pub fn worker_respond(&self, pcie: &PcieConfig) -> SimTime {
+        let entry_words = 16u64;
+        match self.placement {
+            RpcPlacement::Host => SimTime::from_ns(2 * 20),
+            RpcPlacement::Nic => SimTime::from_ns(
+                entry_words * pcie.mmio_write_wc_ns + pcie.wc_flush_ns,
+            ),
+        }
+    }
+
+    /// Host cores this deployment consumes (recovered by offload).
+    pub fn host_cores_used(&self) -> u32 {
+        match self.placement {
+            RpcPlacement::Host => self.cores,
+            RpcPlacement::Nic => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn onhost_uses_8_host_cores() {
+        let s = StackModel::onhost();
+        assert_eq!(s.host_cores_used(), 8);
+        assert_eq!(s.core_class(), CoreClass::HostX86);
+    }
+
+    #[test]
+    fn offload_frees_host_cores() {
+        let s = StackModel::offloaded();
+        assert_eq!(s.host_cores_used(), 0);
+        assert_eq!(s.core_class(), CoreClass::NicArm);
+    }
+
+    #[test]
+    fn mmio_receive_costs_more_than_shared_memory() {
+        let pcie = PcieConfig::pcie();
+        let host = StackModel::onhost().worker_receive(&pcie);
+        let nic = StackModel::offloaded().worker_receive(&pcie);
+        assert!(nic > host * 5, "host {host} nic {nic}");
+        // 2 lines of 16 words: 2 misses + 14 hits.
+        assert_eq!(nic, SimTime::from_ns(2 * 750 + 14 * 2));
+    }
+
+    #[test]
+    fn respond_uses_write_combining() {
+        let pcie = PcieConfig::pcie();
+        let nic = StackModel::offloaded().worker_respond(&pcie);
+        assert_eq!(nic, SimTime::from_ns(16 * 10 + 50));
+    }
+}

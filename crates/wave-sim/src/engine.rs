@@ -1,0 +1,341 @@
+//! The discrete-event engine.
+//!
+//! [`Sim`] is a deterministic event loop generic over a user model `M`.
+//! Events are boxed `FnOnce(&mut M, &mut Sim<M>)` closures ordered by
+//! `(time, sequence)`, so two events scheduled for the same instant fire in
+//! scheduling order — no wall-clock, no thread scheduling, no hash-map
+//! iteration order anywhere. Given the same seed and inputs, a simulation
+//! replays bit-identically (a property the test-suite asserts).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, usable for cancellation.
+///
+/// Cancellation is lazy: the heap entry stays in place and is skipped when
+/// popped. This keeps scheduling O(log n) with no auxiliary index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+type BoxedEvent<M> = Box<dyn FnOnce(&mut M, &mut Sim<M>)>;
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    action: Option<BoxedEvent<M>>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    /// Reverse ordering: the `BinaryHeap` is a max-heap, we want the
+    /// earliest `(at, seq)` on top.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator over a model type `M`.
+///
+/// See the [crate-level documentation](crate) for an example.
+pub struct Sim<M> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<M>>,
+    cancelled: Vec<u64>,
+    executed: u64,
+    stop_requested: bool,
+    horizon: SimTime,
+}
+
+impl<M> Default for Sim<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> fmt::Debug for Sim<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<M> Sim<M> {
+    /// Creates an empty simulator at time zero with an unbounded horizon.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            cancelled: Vec::new(),
+            executed: 0,
+            stop_requested: false,
+            horizon: SimTime::MAX,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including lazily-cancelled ones).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Sets an absolute time horizon; events strictly after the horizon are
+    /// not executed and [`Sim::run`] returns once the next event would pass
+    /// it. The clock is left at the horizon.
+    pub fn set_horizon(&mut self, horizon: SimTime) {
+        self.horizon = horizon;
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now`: this is deliberate, so
+    /// that cost models which compute "ready at" timestamps slightly before
+    /// the current event never panic.
+    pub fn schedule<F>(&mut self, at: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut M, &mut Sim<M>) + 'static,
+    {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            action: Some(Box::new(action)),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `action` at `now + delay`.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut M, &mut Sim<M>) + 'static,
+    {
+        self.schedule(self.now + delay, action)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.push(id.0);
+    }
+
+    /// Requests that the run loop stop after the current event returns.
+    pub fn stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Runs until the event queue is empty, the horizon is reached, or
+    /// [`Sim::stop`] is called. Returns the number of events executed by
+    /// this call.
+    pub fn run(&mut self, model: &mut M) -> u64 {
+        let start = self.executed;
+        self.stop_requested = false;
+        while let Some(entry) = self.heap.peek() {
+            if entry.at > self.horizon {
+                self.now = self.horizon;
+                break;
+            }
+            let mut entry = self.heap.pop().expect("peeked entry exists");
+            if let Some(pos) = self.cancelled.iter().position(|&c| c == entry.seq) {
+                self.cancelled.swap_remove(pos);
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "event queue went backwards");
+            self.now = entry.at;
+            let action = entry.action.take().expect("action present");
+            action(model, self);
+            self.executed += 1;
+            if self.stop_requested {
+                break;
+            }
+        }
+        self.executed - start
+    }
+
+    /// Runs at most `n` further events (useful for lock-step debugging).
+    pub fn step(&mut self, model: &mut M, n: u64) -> u64 {
+        let start = self.executed;
+        for _ in 0..n {
+            let Some(entry) = self.heap.peek() else { break };
+            if entry.at > self.horizon {
+                self.now = self.horizon;
+                break;
+            }
+            let mut entry = self.heap.pop().expect("peeked entry exists");
+            if let Some(pos) = self.cancelled.iter().position(|&c| c == entry.seq) {
+                self.cancelled.swap_remove(pos);
+                continue;
+            }
+            self.now = entry.at;
+            let action = entry.action.take().expect("action present");
+            action(model, self);
+            self.executed += 1;
+        }
+        self.executed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Log(Vec<u32>);
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new();
+        sim.schedule(SimTime::from_ns(30), |m: &mut Log, _| m.0.push(3));
+        sim.schedule(SimTime::from_ns(10), |m: &mut Log, _| m.0.push(1));
+        sim.schedule(SimTime::from_ns(20), |m: &mut Log, _| m.0.push(2));
+        let mut log = Log::default();
+        sim.run(&mut log);
+        assert_eq!(log.0, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_ns(30));
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut sim = Sim::new();
+        for i in 0..16 {
+            sim.schedule(SimTime::from_ns(5), move |m: &mut Log, _| m.0.push(i));
+        }
+        let mut log = Log::default();
+        sim.run(&mut log);
+        assert_eq!(log.0, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling() {
+        let mut sim = Sim::new();
+        sim.schedule(SimTime::from_ns(1), |m: &mut Log, s| {
+            m.0.push(1);
+            s.schedule_in(SimTime::from_ns(1), |m: &mut Log, _| m.0.push(2));
+        });
+        let mut log = Log::default();
+        sim.run(&mut log);
+        assert_eq!(log.0, vec![1, 2]);
+        assert_eq!(sim.now(), SimTime::from_ns(2));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut sim = Sim::new();
+        sim.schedule(SimTime::from_ns(100), |m: &mut Log, s| {
+            m.0.push(1);
+            // "In the past" relative to now=100; must fire, at now.
+            s.schedule(SimTime::from_ns(10), |m: &mut Log, _| m.0.push(2));
+        });
+        let mut log = Log::default();
+        sim.run(&mut log);
+        assert_eq!(log.0, vec![1, 2]);
+        assert_eq!(sim.now(), SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut sim = Sim::new();
+        let keep = sim.schedule(SimTime::from_ns(1), |m: &mut Log, _| m.0.push(1));
+        let kill = sim.schedule(SimTime::from_ns(2), |m: &mut Log, _| m.0.push(2));
+        sim.cancel(kill);
+        let _ = keep;
+        let mut log = Log::default();
+        sim.run(&mut log);
+        assert_eq!(log.0, vec![1]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut sim = Sim::new();
+        let id = sim.schedule(SimTime::from_ns(1), |m: &mut Log, _| m.0.push(1));
+        let mut log = Log::default();
+        sim.run(&mut log);
+        sim.cancel(id);
+        sim.schedule(SimTime::from_ns(2), |m: &mut Log, _| m.0.push(2));
+        sim.run(&mut log);
+        assert_eq!(log.0, vec![1, 2]);
+    }
+
+    #[test]
+    fn horizon_stops_run() {
+        let mut sim = Sim::new();
+        sim.schedule(SimTime::from_ns(5), |m: &mut Log, _| m.0.push(1));
+        sim.schedule(SimTime::from_ns(50), |m: &mut Log, _| m.0.push(2));
+        sim.set_horizon(SimTime::from_ns(10));
+        let mut log = Log::default();
+        sim.run(&mut log);
+        assert_eq!(log.0, vec![1]);
+        assert_eq!(sim.now(), SimTime::from_ns(10));
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn stop_requested_mid_run() {
+        let mut sim = Sim::new();
+        sim.schedule(SimTime::from_ns(1), |m: &mut Log, s| {
+            m.0.push(1);
+            s.stop();
+        });
+        sim.schedule(SimTime::from_ns(2), |m: &mut Log, _| m.0.push(2));
+        let mut log = Log::default();
+        sim.run(&mut log);
+        assert_eq!(log.0, vec![1]);
+        // A subsequent run picks the rest up.
+        sim.run(&mut log);
+        assert_eq!(log.0, vec![1, 2]);
+    }
+
+    #[test]
+    fn step_limits_execution() {
+        let mut sim = Sim::new();
+        for i in 0..5 {
+            sim.schedule(SimTime::from_ns(i), move |m: &mut Log, _| m.0.push(i as u32));
+        }
+        let mut log = Log::default();
+        assert_eq!(sim.step(&mut log, 2), 2);
+        assert_eq!(log.0, vec![0, 1]);
+        assert_eq!(sim.step(&mut log, 100), 3);
+        assert_eq!(log.0.len(), 5);
+    }
+
+    #[test]
+    fn executed_counts() {
+        let mut sim = Sim::new();
+        for i in 0..10u64 {
+            sim.schedule(SimTime::from_ns(i), |_: &mut Log, _| {});
+        }
+        let mut log = Log::default();
+        assert_eq!(sim.run(&mut log), 10);
+        assert_eq!(sim.executed(), 10);
+    }
+}

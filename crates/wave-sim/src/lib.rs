@@ -1,0 +1,60 @@
+//! # wave-sim — deterministic discrete-event simulation engine
+//!
+//! The Wave paper evaluates its mechanisms on an Intel Mount Evans SmartNIC
+//! attached to an AMD Zen3 host over PCIe. This crate is the foundation of
+//! our hardware substitution: a deterministic discrete-event simulator
+//! (DES) in which every other crate of the workspace models its latencies.
+//!
+//! The engine is deliberately minimal and fully deterministic:
+//!
+//! * [`SimTime`] is virtual time in integer nanoseconds.
+//! * [`Sim`] is a binary-heap event loop generic over a user-supplied
+//!   model type `M`; events are boxed `FnOnce(&mut M, &mut Sim<M>)`
+//!   closures ordered by `(time, sequence-number)`.
+//! * [`dist`] provides the random distributions the experiments need
+//!   (exponential inter-arrivals, Zipf, Gamma/Beta for SOL's Thompson
+//!   sampling) built on a seeded [`rand::rngs::SmallRng`].
+//! * [`stats`] provides log-bucketed latency histograms and time series.
+//! * [`cpu`] and [`turbo`] model host x86 cores vs. SmartNIC ARM cores,
+//!   SMT siblings, per-workload-class slowdown ratios, and the bracketed
+//!   turbo-boost governor needed for the paper's Figure 5.
+//!
+//! ## Example
+//!
+//! ```
+//! use wave_sim::{Sim, SimTime};
+//!
+//! struct Model { fired: u32 }
+//!
+//! let mut sim = Sim::new();
+//! sim.schedule(SimTime::from_us(5), |m: &mut Model, _s| m.fired += 1);
+//! sim.schedule(SimTime::from_us(1), |m: &mut Model, s| {
+//!     m.fired += 1;
+//!     // Events may schedule further events.
+//!     s.schedule_in(SimTime::from_us(1), |m: &mut Model, _s| m.fired += 1);
+//! });
+//! let mut model = Model { fired: 0 };
+//! sim.run(&mut model);
+//! assert_eq!(model.fired, 3);
+//! assert_eq!(sim.now(), SimTime::from_us(5));
+//! ```
+
+pub mod cpu;
+pub mod dist;
+pub mod engine;
+pub mod stats;
+pub mod time;
+pub mod turbo;
+
+pub use engine::{EventId, Sim};
+pub use time::SimTime;
+
+/// Convenience constructor for the deterministic RNG used across the
+/// workspace.
+///
+/// All Wave experiments are seeded so that a run is exactly reproducible;
+/// property tests rely on this to assert determinism of whole simulations.
+pub fn rng(seed: u64) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    rand::rngs::SmallRng::seed_from_u64(seed)
+}

@@ -1,0 +1,410 @@
+//! Statistics: latency histograms, counters, and figure series.
+//!
+//! The paper reports 99th-percentile latency/throughput curves (Figs. 4
+//! and 6), per-vCPU work (Fig. 5), and latency medians/tails (§7.4). This
+//! module provides the recording machinery: an HDR-style log-bucketed
+//! histogram with bounded relative error, plus simple series containers
+//! that the `wave-lab` harness turns into the paper's tables.
+
+use crate::time::SimTime;
+
+/// Number of linear sub-buckets per power-of-two bucket. 32 sub-buckets
+/// bound the relative quantile error at ~3%, plenty for reproducing
+/// microsecond-scale tail latencies.
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5; // log2(SUB_BUCKETS)
+
+/// A log-bucketed histogram of `u64` values (we use nanoseconds).
+///
+/// Values are bucketed with ~3% relative resolution across the full `u64`
+/// range, like HdrHistogram. Recording is O(1); quantiles are O(buckets).
+///
+/// # Examples
+///
+/// ```
+/// use wave_sim::stats::Histogram;
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.quantile(0.5);
+/// assert!((450..=550).contains(&p50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        // 64 powers of two, SUB_BUCKETS each.
+        Histogram {
+            counts: vec![0; 64 * SUB_BUCKETS],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    fn index_for(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = (value >> shift) as usize & (SUB_BUCKETS - 1);
+        ((msb - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    fn value_for(index: usize) -> u64 {
+        let bucket = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if bucket == 0 {
+            return sub;
+        }
+        let shift = (bucket - 1) as u32;
+        // Top of the sub-bucket range (conservative upper bound).
+        ((SUB_BUCKETS as u64 + sub + 1) << shift) - 1
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index_for(value)] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value as u128;
+    }
+
+    /// Records a [`SimTime`] duration (in nanoseconds).
+    pub fn record_time(&mut self, value: SimTime) {
+        self.record(value.as_ns());
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact minimum recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, with ~3% relative error.
+    /// Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value_for(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// p50/p90/p99/p99.9 summary.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.total,
+            mean_ns: self.mean(),
+            p50: SimTime::from_ns(self.quantile(0.50)),
+            p90: SimTime::from_ns(self.quantile(0.90)),
+            p99: SimTime::from_ns(self.quantile(0.99)),
+            p999: SimTime::from_ns(self.quantile(0.999)),
+            max: SimTime::from_ns(self.max()),
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// Percentile summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean in nanoseconds.
+    pub mean_ns: f64,
+    /// Median.
+    pub p50: SimTime,
+    /// 90th percentile.
+    pub p90: SimTime,
+    /// 99th percentile (the paper's tail-latency metric).
+    pub p99: SimTime,
+    /// 99.9th percentile.
+    pub p999: SimTime,
+    /// Maximum.
+    pub max: SimTime,
+}
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A time-weighted gauge, e.g. for core utilization: integrates
+/// `value × dt` so the mean is exact regardless of update cadence.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWeighted {
+    last_at: SimTime,
+    last_value: f64,
+    integral: f64,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Creates a gauge with initial `value` at time `at`.
+    pub fn new(at: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_at: at,
+            last_value: value,
+            integral: 0.0,
+            start: at,
+        }
+    }
+
+    /// Updates the gauge to `value` at time `at` (must not be before the
+    /// previous update; same-instant updates are allowed).
+    pub fn set(&mut self, at: SimTime, value: f64) {
+        let dt = at.saturating_sub(self.last_at).as_ns() as f64;
+        self.integral += self.last_value * dt;
+        self.last_at = at;
+        self.last_value = value;
+    }
+
+    /// Time-weighted mean over `[start, at]`.
+    pub fn mean(&self, at: SimTime) -> f64 {
+        let dt = at.saturating_sub(self.last_at).as_ns() as f64;
+        let total = at.saturating_sub(self.start).as_ns() as f64;
+        if total == 0.0 {
+            return self.last_value;
+        }
+        (self.integral + self.last_value * dt) / total
+    }
+}
+
+/// One point of a figure curve: offered/achieved throughput vs. latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// X value (e.g. achieved throughput in requests/second).
+    pub x: f64,
+    /// Y value (e.g. p99 latency in microseconds).
+    pub y: f64,
+}
+
+/// A named curve, one per scenario line of a paper figure.
+#[derive(Debug, Clone, Default)]
+pub struct Curve {
+    /// Legend label (e.g. `"Wave, 16 CPUs"`).
+    pub label: String,
+    /// Points in sweep order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl Curve {
+    /// Creates an empty curve with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Curve {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push(CurvePoint { x, y });
+    }
+
+    /// The largest x whose y stays at or below `y_cap`, i.e. the
+    /// saturation throughput under a tail-latency SLO. Returns `None` if
+    /// no point qualifies.
+    pub fn saturation_x(&self, y_cap: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.y <= y_cap)
+            .map(|p| p.x)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_exact_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_quantile_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for &(q, expect) in &[(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = h.quantile(q) as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.04,
+                "q={q} got={got} expect={expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_mean_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(60);
+        assert!((h.mean() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(200);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 300);
+        assert_eq!(a.min(), 100);
+        assert!((a.mean() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(100_000);
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!(s.p50.as_ns() < 1_100);
+        assert!(s.p999.as_ns() > 90_000);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut g = TimeWeighted::new(SimTime::ZERO, 0.0);
+        g.set(SimTime::from_ns(10), 1.0); // 0 for 10ns
+        g.set(SimTime::from_ns(30), 0.0); // 1 for 20ns
+        let m = g.mean(SimTime::from_ns(40)); // 0 for 10ns more
+        assert!((m - 0.5).abs() < 1e-9, "mean {m}");
+    }
+
+    #[test]
+    fn curve_saturation() {
+        let mut c = Curve::new("test");
+        c.push(100.0, 10.0);
+        c.push(200.0, 50.0);
+        c.push(300.0, 400.0);
+        assert_eq!(c.saturation_x(100.0), Some(200.0));
+        assert_eq!(c.saturation_x(5.0), None);
+    }
+
+    #[test]
+    fn counter_ops() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+}

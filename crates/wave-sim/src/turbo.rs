@@ -1,0 +1,215 @@
+//! Turbo-boost and timer-tick interference model (paper Figure 5).
+//!
+//! The paper's VM-scheduling experiment compares two worlds on a 128
+//! logical-core socket running two 128-vCPU VMs:
+//!
+//! * **On-Host (ticks)** — every host core takes a 1 ms scheduler tick.
+//!   Idle cores keep waking, never reach deep C-states, and so constrain
+//!   the socket's turbo budget. Active vCPUs also pay the direct tick
+//!   overhead (1.7% of cycles — the paper's own attribution at 128 active
+//!   vCPUs, where no turbo headroom remains).
+//! * **Wave (no ticks)** — scheduling lives on the SmartNIC, ticks are
+//!   disabled, idle cores park in deep C-states, and the AMD turbo
+//!   governor boosts the active cores by bracketed active-core counts.
+//!
+//! [`TurboModel`] encodes both frequency ladders; the default brackets are
+//! fitted so the three anchor points the paper quotes (+11.2% at 1 active
+//! vCPU, ≈+9.7% at 31, +1.7% at 128) are reproduced by
+//! `wave-lab::fig5`.
+
+use crate::cpu::SmtModel;
+use crate::time::SimTime;
+
+/// One rung of a turbo ladder: up to `max_active` busy physical cores,
+/// the socket clocks at `ghz`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TurboBracket {
+    /// Maximum busy physical cores for this bracket (inclusive).
+    pub max_active: u32,
+    /// Core frequency in GHz inside this bracket.
+    pub ghz: f64,
+}
+
+/// Bracketed turbo governor for one socket, with and without timer ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TurboModel {
+    /// Frequency ladder when idle cores reach deep C-states (no ticks).
+    pub no_ticks: Vec<TurboBracket>,
+    /// Frequency ladder when 1 ms ticks keep all cores lightly awake.
+    pub ticks: Vec<TurboBracket>,
+    /// Physical cores in the socket.
+    pub physical_cores: u32,
+}
+
+impl TurboModel {
+    /// The AMD Zen3 single-socket model used by the Fig. 5 reproduction:
+    /// 64 physical cores, base 2.45 GHz, max boost 3.5 GHz. Ladder values
+    /// are fitted to the paper's anchor points (see module docs).
+    pub fn zen3() -> Self {
+        TurboModel {
+            no_ticks: vec![
+                TurboBracket { max_active: 8, ghz: 3.50 },
+                TurboBracket { max_active: 16, ghz: 3.45 },
+                TurboBracket { max_active: 32, ghz: 3.40 },
+                TurboBracket { max_active: 48, ghz: 3.05 },
+                TurboBracket { max_active: 64, ghz: 2.75 },
+            ],
+            ticks: vec![
+                TurboBracket { max_active: 8, ghz: 3.20 },
+                TurboBracket { max_active: 16, ghz: 3.18 },
+                TurboBracket { max_active: 32, ghz: 3.15 },
+                TurboBracket { max_active: 48, ghz: 2.93 },
+                TurboBracket { max_active: 64, ghz: 2.75 },
+            ],
+            physical_cores: 64,
+        }
+    }
+
+    /// Socket frequency (GHz) given the number of busy physical cores and
+    /// whether timer ticks keep idle cores out of deep C-states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_physical` exceeds `physical_cores`.
+    pub fn frequency_ghz(&self, active_physical: u32, ticks_enabled: bool) -> f64 {
+        assert!(
+            active_physical <= self.physical_cores,
+            "{active_physical} > {} physical cores",
+            self.physical_cores
+        );
+        let ladder = if ticks_enabled { &self.ticks } else { &self.no_ticks };
+        for bracket in ladder {
+            if active_physical <= bracket.max_active {
+                return bracket.ghz;
+            }
+        }
+        ladder.last().map(|b| b.ghz).unwrap_or(1.0)
+    }
+}
+
+impl Default for TurboModel {
+    fn default() -> Self {
+        Self::zen3()
+    }
+}
+
+/// Timer-tick interference model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickModel {
+    /// Tick period (1 ms on the paper's production machines).
+    pub period: SimTime,
+    /// Fraction of active-core cycles lost to tick processing (wakeup,
+    /// scheduler class callbacks, cache pollution). The paper attributes
+    /// the entire 1.7% improvement at 128 active vCPUs to this.
+    pub loss_fraction: f64,
+}
+
+impl TickModel {
+    /// The paper's production configuration.
+    pub fn production() -> Self {
+        TickModel {
+            period: SimTime::from_ms(1),
+            loss_fraction: 0.017,
+        }
+    }
+
+    /// Useful-work multiplier for an active core.
+    pub fn useful_fraction(&self, ticks_enabled: bool) -> f64 {
+        if ticks_enabled {
+            1.0 - self.loss_fraction
+        } else {
+            1.0
+        }
+    }
+}
+
+impl Default for TickModel {
+    fn default() -> Self {
+        Self::production()
+    }
+}
+
+/// Normalized `busy_loop` work rate for one vCPU.
+///
+/// Combines the turbo frequency for the current active-core count, the
+/// tick overhead, and the SMT sharing factor. Units are arbitrary
+/// (relative work per unit time), matching the dimensionless y-axis of
+/// Fig. 5a.
+pub fn vcpu_work_rate(
+    turbo: &TurboModel,
+    ticks: &TickModel,
+    smt: &SmtModel,
+    active_physical: u32,
+    sibling_busy: bool,
+    ticks_enabled: bool,
+) -> f64 {
+    let f = turbo.frequency_ghz(active_physical, ticks_enabled);
+    f * ticks.useful_fraction(ticks_enabled) * smt.factor(sibling_busy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_monotone_non_increasing() {
+        let t = TurboModel::zen3();
+        for ladder in [&t.no_ticks, &t.ticks] {
+            for w in ladder.windows(2) {
+                assert!(w[0].ghz >= w[1].ghz, "ladder must not increase");
+                assert!(w[0].max_active < w[1].max_active);
+            }
+        }
+    }
+
+    #[test]
+    fn no_ticks_always_at_least_ticks() {
+        let t = TurboModel::zen3();
+        for n in 1..=64 {
+            assert!(
+                t.frequency_ghz(n, false) >= t.frequency_ghz(n, true),
+                "active={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn converges_at_full_socket() {
+        let t = TurboModel::zen3();
+        assert_eq!(t.frequency_ghz(64, false), t.frequency_ghz(64, true));
+    }
+
+    #[test]
+    fn paper_anchor_points() {
+        // Fig. 5b anchors: +11.2% at 1 active vCPU, ~+9.7% at 31, +1.7%
+        // at 128 (i.e. 64 busy physical cores, both siblings busy).
+        let turbo = TurboModel::zen3();
+        let ticks = TickModel::production();
+        let smt = SmtModel::default();
+        let imp = |active_physical: u32, sibling_busy: bool| {
+            let wave = vcpu_work_rate(&turbo, &ticks, &smt, active_physical, sibling_busy, false);
+            let host = vcpu_work_rate(&turbo, &ticks, &smt, active_physical, sibling_busy, true);
+            wave / host - 1.0
+        };
+        let at1 = imp(1, false);
+        assert!((at1 - 0.112).abs() < 0.01, "1 vCPU improvement {at1}");
+        let at31 = imp(31, false);
+        assert!((at31 - 0.097).abs() < 0.012, "31 vCPU improvement {at31}");
+        let at128 = imp(64, true);
+        assert!((at128 - 0.017).abs() < 0.002, "128 vCPU improvement {at128}");
+    }
+
+    #[test]
+    #[should_panic(expected = "physical cores")]
+    fn rejects_overcount() {
+        let t = TurboModel::zen3();
+        let _ = t.frequency_ghz(65, false);
+    }
+
+    #[test]
+    fn tick_model_useful_fraction() {
+        let t = TickModel::production();
+        assert_eq!(t.useful_fraction(false), 1.0);
+        assert!((t.useful_fraction(true) - 0.983).abs() < 1e-12);
+    }
+}

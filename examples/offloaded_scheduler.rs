@@ -1,0 +1,37 @@
+//! Offloaded thread scheduling: the paper's Fig. 4a experiment at one
+//! load point, On-Host vs Wave.
+//!
+//! Run with: `cargo run --release --example offloaded_scheduler`
+
+use wave::ghost::policies::FifoPolicy;
+use wave::ghost::sim::{Placement, SchedConfig, SchedSim};
+use wave::core::OptLevel;
+use wave::sim::SimTime;
+
+fn run(label: &str, workers: u32, placement: Placement) {
+    let mut cfg = SchedConfig::new(workers, placement, OptLevel::full());
+    cfg.offered = 500_000.0;
+    cfg.duration = SimTime::from_ms(300);
+    cfg.warmup = SimTime::from_ms(50);
+    let report = SchedSim::new(cfg, Box::new(FifoPolicy::new())).run();
+    println!(
+        "{label:<22} achieved {:>8.0} req/s   p50 {:>9}  p99 {:>9}   prestage hit-rate {:>5.1}%   msix {:>7}",
+        report.achieved,
+        report.latency.p50.to_string(),
+        report.latency.p99.to_string(),
+        100.0 * report.prestage_hits as f64
+            / (report.prestage_hits + report.prestage_misses).max(1) as f64,
+        report.msix_sent,
+    );
+}
+
+fn main() {
+    println!("RocksDB 10us GETs at 500k req/s, FIFO policy (paper S7.2.2):\n");
+    // On-host ghOSt: 16 cores = 1 agent + 15 workers.
+    run("On-Host (15+1 cores)", 15, Placement::OnHost);
+    // Wave: agent on the SmartNIC; same 15 workers (apples-to-apples)...
+    run("Wave (15 cores)", 15, Placement::Offloaded);
+    // ...then give the freed host core to the workload.
+    run("Wave (16 cores)", 16, Placement::Offloaded);
+    println!("\nThe freed agent core buys Wave-16 its throughput edge (paper: +4.6% at saturation).");
+}

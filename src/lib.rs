@@ -1,0 +1,45 @@
+//! # Wave — offloading resource management to SmartNIC cores
+//!
+//! This is the façade crate of the Wave workspace, a full reproduction of
+//! *"Wave: Offloading Resource Management to SmartNIC Cores"* (ASPLOS'25).
+//! It re-exports every sub-crate so downstream users can depend on a single
+//! crate:
+//!
+//! * [`sim`] — deterministic discrete-event simulation engine, RNG
+//!   distributions, statistics, CPU/turbo models.
+//! * [`pcie`] — the host↔SmartNIC interconnect substrate: MMIO with PTE
+//!   typing (UC/WC/WT/WB), DMA engine, MSI-X, software coherence, and a
+//!   coherent (UPI/CXL-style) mode.
+//! * [`queue`] — Floem-style unidirectional shared-memory queues over MMIO
+//!   or DMA.
+//! * [`core`] — the Wave API of the paper's Table 1: channels, messages,
+//!   transactions, outcomes, agents, and the watchdog.
+//! * [`ghost`] — the ghOSt-style scheduling substrate plus the FIFO,
+//!   Shinjuku, multi-queue Shinjuku, and VM (Tableau-style) policies.
+//! * [`memmgr`] — the memory-management substrate plus the SOL
+//!   Thompson-sampling tiering policy.
+//! * [`rpc`] — the Stubby-style RPC stack substrate with packet steering.
+//! * [`kvstore`] — the RocksDB-like µs-scale workload and load generators.
+//! * [`lab`] — the experiment harness that regenerates every table and
+//!   figure of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wave::lab::fig4::{Fig4Config, Scenario};
+//!
+//! // Run one load point of the paper's Figure 4a FIFO experiment.
+//! let cfg = Fig4Config::fifo_quick();
+//! let curve = wave::lab::fig4::run_curve(&cfg, Scenario::Wave16, &[200_000.0]);
+//! assert_eq!(curve.points.len(), 1);
+//! ```
+
+pub use wave_core as core;
+pub use wave_ghost as ghost;
+pub use wave_kvstore as kvstore;
+pub use wave_lab as lab;
+pub use wave_memmgr as memmgr;
+pub use wave_pcie as pcie;
+pub use wave_queue as queue;
+pub use wave_rpc as rpc;
+pub use wave_sim as sim;

@@ -1,0 +1,76 @@
+//! Fault injection: the §3.3 watchdog and the §6 "keep fault recovery
+//! simple" story — an agent dies, the watchdog kills it, a restarted
+//! agent re-pulls non-policy state from the host (the source of truth)
+//! and the system keeps working.
+
+use wave::core::{Agent, AgentId, ChannelConfig, GenerationTable, MsixMode, OptLevel, Watchdog,
+                 WaveChannel};
+use wave::pcie::{Interconnect, MsixVector};
+use wave::sim::cpu::{CoreClass, CpuModel};
+use wave::sim::SimTime;
+
+#[test]
+fn watchdog_kills_silent_agent_and_restart_recovers() {
+    let mut ic = Interconnect::pcie();
+    let mut ch: WaveChannel<u64, u64> =
+        WaveChannel::create(&mut ic, ChannelConfig::mmio(OptLevel::full()));
+    let mut agent = Agent::start(AgentId(0), CoreClass::NicArm, CpuModel::mount_evans());
+    let mut wd = Watchdog::scheduler_default();
+
+    // Host kernel is the source of truth for thread state.
+    let mut kernel = GenerationTable::new();
+    for tid in 0..10 {
+        kernel.insert(tid);
+    }
+
+    // The agent works normally for a while...
+    let t1 = SimTime::from_ms(1);
+    agent.record_decision(t1);
+    wd.heartbeat(t1);
+    assert!(!wd.expired(SimTime::from_ms(5)));
+
+    // ...then crashes (fault injection). No more heartbeats.
+    agent.crash();
+    let t_detect = SimTime::from_ms(25);
+    assert!(wd.expired(t_detect), "silence past 20 ms must trip the watchdog");
+    assert!(wd.fire(), "first firing kills the agent");
+    agent.kill();
+    assert!(!agent.is_running());
+
+    // Operator restarts the agent; it re-pulls state from the kernel
+    // (generation snapshots) rather than from any checkpoint.
+    let t_restart = SimTime::from_ms(30);
+    agent.restart(t_restart);
+    wd.rearm(t_restart);
+    assert!(agent.is_running());
+    assert!(!wd.expired(SimTime::from_ms(45)));
+
+    // The restarted agent can immediately make valid decisions: state
+    // re-pulled from the host validates.
+    let target = kernel.snapshot(3).expect("kernel still has the thread");
+    let txn = ch.txn_create(target, 3);
+    let commit = ch
+        .txns_commit(t_restart, &mut ic, [txn], MsixMode::Send(MsixVector(0)))
+        .expect("room");
+    let at = commit.msix.expect("kick").handler_at;
+    ch.invalidate_txns(at, &mut ic, 1);
+    let got = ch.poll_txns(at, &mut ic, 4);
+    assert_eq!(got.items.len(), 1);
+    assert!(kernel.validate(got.items[0].target).is_committed());
+}
+
+#[test]
+fn stale_transactions_fail_cleanly_across_restart() {
+    // A decision staged by the dead agent against state that changed
+    // while it was down must fail validation — never corrupt the kernel.
+    let mut kernel = GenerationTable::new();
+    kernel.insert(7);
+    let stale = kernel.snapshot(7).unwrap();
+    // While the agent was dead, the thread exited and a new one reused
+    // the resource id.
+    kernel.remove(7);
+    kernel.insert(7);
+    kernel.bump(7);
+    let outcome = kernel.validate(stale);
+    assert!(!outcome.is_committed());
+}

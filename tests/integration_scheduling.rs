@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: the offloaded thread scheduler end to
+//! end (paper §7.2), exercised through the `wave` façade.
+
+use wave::core::OptLevel;
+use wave::ghost::policies::{FifoPolicy, ShinjukuPolicy};
+use wave::ghost::sim::{Placement, SchedConfig, SchedSim, ServiceMix};
+use wave::sim::SimTime;
+
+fn cfg(workers: u32, placement: Placement, opts: OptLevel, offered: f64) -> SchedConfig {
+    let mut c = SchedConfig::new(workers, placement, opts);
+    c.offered = offered;
+    c.duration = SimTime::from_ms(200);
+    c.warmup = SimTime::from_ms(30);
+    c
+}
+
+#[test]
+fn offloaded_scheduler_serves_real_load() {
+    let report = SchedSim::new(
+        cfg(8, Placement::Offloaded, OptLevel::full(), 300_000.0),
+        Box::new(FifoPolicy::new()),
+    )
+    .run();
+    assert!(report.completed > 40_000, "completed {}", report.completed);
+    assert_eq!(report.dropped, 0);
+    assert!(report.latency.p99 < SimTime::from_us(100));
+    assert!(report.msix_sent > 0, "idle cores must be woken by MSI-X");
+}
+
+#[test]
+fn full_optimizations_beat_baseline_end_to_end() {
+    let base = SchedSim::new(
+        cfg(8, Placement::Offloaded, OptLevel::none(), 250_000.0),
+        Box::new(FifoPolicy::new()),
+    )
+    .run();
+    let full = SchedSim::new(
+        cfg(8, Placement::Offloaded, OptLevel::full(), 250_000.0),
+        Box::new(FifoPolicy::new()),
+    )
+    .run();
+    assert!(
+        full.latency.p99 < base.latency.p99,
+        "full {} vs base {}",
+        full.latency.p99,
+        base.latency.p99
+    );
+}
+
+#[test]
+fn onhost_agent_has_lower_latency_offload_has_more_cores() {
+    // The paper's core trade-off at the core counts of Fig. 4a.
+    let onhost = SchedSim::new(
+        cfg(15, Placement::OnHost, OptLevel::full(), 400_000.0),
+        Box::new(FifoPolicy::new()),
+    )
+    .run();
+    let wave15 = SchedSim::new(
+        cfg(15, Placement::Offloaded, OptLevel::full(), 400_000.0),
+        Box::new(FifoPolicy::new()),
+    )
+    .run();
+    assert!(wave15.latency.p50 >= onhost.latency.p50);
+    // Far from saturation the gap stays in the microsecond range.
+    let gap = wave15.latency.p99.saturating_sub(onhost.latency.p99);
+    assert!(gap < SimTime::from_us(10), "tail gap {gap}");
+}
+
+#[test]
+fn shinjuku_protects_gets_from_ranges() {
+    let mut c = cfg(8, Placement::Offloaded, OptLevel::full(), 60_000.0);
+    c.mix = ServiceMix::paper_bimodal();
+    let shinjuku = SchedSim::new(c.clone(), Box::new(ShinjukuPolicy::paper_default())).run();
+    let fifo = SchedSim::new(c, Box::new(FifoPolicy::new())).run();
+    // Run-to-completion FIFO lets 10 ms RANGEs inflate the GET tail;
+    // Shinjuku's 30 us slice keeps p99 well below a RANGE service time.
+    assert!(
+        shinjuku.latency.p99 < SimTime::from_ms(2),
+        "shinjuku p99 {}",
+        shinjuku.latency.p99
+    );
+    assert!(
+        fifo.latency.p99 > shinjuku.latency.p99,
+        "fifo {} vs shinjuku {}",
+        fifo.latency.p99,
+        shinjuku.latency.p99
+    );
+}
+
+#[test]
+fn whole_simulation_is_deterministic() {
+    let a = SchedSim::new(
+        cfg(8, Placement::Offloaded, OptLevel::full(), 200_000.0),
+        Box::new(FifoPolicy::new()),
+    )
+    .run();
+    let b = SchedSim::new(
+        cfg(8, Placement::Offloaded, OptLevel::full(), 200_000.0),
+        Box::new(FifoPolicy::new()),
+    )
+    .run();
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.latency.p999, b.latency.p999);
+    assert_eq!(a.msix_sent, b.msix_sent);
+    assert_eq!(a.agent_decisions, b.agent_decisions);
+}
