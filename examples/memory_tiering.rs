@@ -7,7 +7,8 @@ use wave::kvstore::{AccessPattern, DbFootprint, FootprintConfig};
 use wave::memmgr::{SolConfig, SolPolicy};
 use wave::sim::SimTime;
 
-fn main() {
+/// Runs the example end to end (also exercised by `tests/examples_smoke.rs`).
+pub fn run() {
     // 1/500th of the paper's 102 GiB address space: same statistics,
     // fewer batches.
     let fp_cfg = FootprintConfig::paper(0.002);
@@ -45,4 +46,8 @@ fn main() {
     let reduction = (1.0 - fp.resident_fraction()) * 100.0;
     println!("\ntotal reduction: {reduction:.1}% (paper: 79%, ~102 GiB -> ~21.3 GiB)");
     println!("scan-ladder mean rung: {:.2} (0 = 600ms, 4 = 9.6s)", policy.mean_rung());
+}
+
+fn main() {
+    run();
 }

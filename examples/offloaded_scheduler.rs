@@ -8,7 +8,7 @@ use wave::ghost::sim::{Placement, SchedConfig, SchedSim};
 use wave::core::OptLevel;
 use wave::sim::SimTime;
 
-fn run(label: &str, workers: u32, placement: Placement) {
+fn run_scenario(label: &str, workers: u32, placement: Placement) {
     let mut cfg = SchedConfig::new(workers, placement, OptLevel::full());
     cfg.offered = 500_000.0;
     cfg.duration = SimTime::from_ms(300);
@@ -25,13 +25,18 @@ fn run(label: &str, workers: u32, placement: Placement) {
     );
 }
 
-fn main() {
+/// Runs the example end to end (also exercised by `tests/examples_smoke.rs`).
+pub fn run() {
     println!("RocksDB 10us GETs at 500k req/s, FIFO policy (paper S7.2.2):\n");
     // On-host ghOSt: 16 cores = 1 agent + 15 workers.
-    run("On-Host (15+1 cores)", 15, Placement::OnHost);
+    run_scenario("On-Host (15+1 cores)", 15, Placement::OnHost);
     // Wave: agent on the SmartNIC; same 15 workers (apples-to-apples)...
-    run("Wave (15 cores)", 15, Placement::Offloaded);
+    run_scenario("Wave (15 cores)", 15, Placement::Offloaded);
     // ...then give the freed host core to the workload.
-    run("Wave (16 cores)", 16, Placement::Offloaded);
+    run_scenario("Wave (16 cores)", 16, Placement::Offloaded);
     println!("\nThe freed agent core buys Wave-16 its throughput edge (paper: +4.6% at saturation).");
+}
+
+fn main() {
+    run();
 }

@@ -11,7 +11,8 @@ use wave::core::{ChannelConfig, GenerationTable, MsixMode, OptLevel, TxnOutcomeR
 use wave::pcie::{Interconnect, MsixVector};
 use wave::sim::SimTime;
 
-fn main() {
+/// Runs the example end to end (also exercised by `tests/examples_smoke.rs`).
+pub fn run() {
     // The interconnect: calibrated to the paper's Table 2 (750 ns MMIO
     // reads, 1600 ns MSI-X end-to-end, ...).
     let mut ic = Interconnect::pcie();
@@ -64,4 +65,8 @@ fn main() {
 
     let total = delivery.handler_at + txns.cpu - t0;
     println!("\nblock-to-switch total: {total} (paper Table 3 band: 3.3-4.0 us with all optimizations)");
+}
+
+fn main() {
+    run();
 }

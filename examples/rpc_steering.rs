@@ -11,7 +11,8 @@ use wave::ghost::sim::SchedSim;
 use wave::rpc::{AgentSteering, Fig6Scenario, RpcHeader, RssSteering, SchedulerKind, Steering};
 use wave::sim::SimTime;
 
-fn main() {
+/// Runs the example end to end (also exercised by `tests/examples_smoke.rs`).
+pub fn run() {
     // Part 1: steering policies in isolation. Four workers, three busy.
     let busy = vec![true, true, false, true];
     let header = RpcHeader { id: 1, flow: 99, payload_len: 64, slo: 0, method: 0 };
@@ -42,4 +43,8 @@ fn main() {
         );
     }
     println!("\nOffload-All serves the same load with 8 fewer host cores (paper: recovers 9 at equal worker count).");
+}
+
+fn main() {
+    run();
 }

@@ -1,0 +1,37 @@
+//! Smoke tests over the four `examples/` main paths.
+//!
+//! Each example exposes its body as `pub fn run()`; the files are included
+//! here via `#[path]` so the exact code that `cargo run --example` executes
+//! is what the test suite drives (their `fn main` entry points are unused in
+//! this harness, hence the `dead_code` allow).
+
+#![allow(dead_code)]
+
+#[path = "../examples/memory_tiering.rs"]
+mod memory_tiering;
+#[path = "../examples/offloaded_scheduler.rs"]
+mod offloaded_scheduler;
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+#[path = "../examples/rpc_steering.rs"]
+mod rpc_steering;
+
+#[test]
+fn quickstart_runs() {
+    quickstart::run();
+}
+
+#[test]
+fn offloaded_scheduler_runs() {
+    offloaded_scheduler::run();
+}
+
+#[test]
+fn memory_tiering_runs() {
+    memory_tiering::run();
+}
+
+#[test]
+fn rpc_steering_runs() {
+    rpc_steering::run();
+}

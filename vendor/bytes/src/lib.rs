@@ -1,0 +1,219 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the little slice of the API the Wave RPC wire format uses:
+//! [`BytesMut`] as an append-only builder ([`BufMut`]), frozen into
+//! [`Bytes`], which is consumed cursor-style through [`Buf`]. Swap in the
+//! real crate via the root `[workspace.dependencies]` once the registry is
+//! reachable.
+
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer with a read cursor.
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: bytes.into(),
+            pos: 0,
+        }
+    }
+
+    /// Copies a byte slice into a new buffer.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Bytes {
+            data: bytes.into(),
+            pos: 0,
+        }
+    }
+
+    /// Remaining (unconsumed) length in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unconsumed bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: v.into(),
+            pos: 0,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Growable byte buffer used to build wire messages.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Cursor-style big/little-endian reads; advances past consumed bytes.
+pub trait Buf {
+    /// Number of bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns the next `N` bytes.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+
+    /// Consumes a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
+    }
+
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.len() >= N, "buffer underflow");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.pos..self.pos + N]);
+        self.pos += N;
+        out
+    }
+}
+
+/// Little-endian appends used to build wire messages.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, bytes: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut b = BytesMut::with_capacity(15);
+        b.put_u64_le(0x0102_0304_0506_0708);
+        b.put_u32_le(0xaabb_ccdd);
+        b.put_u16_le(0xeeff);
+        b.put_u8(0x42);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 15);
+        assert_eq!(frozen.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(frozen.get_u32_le(), 0xaabb_ccdd);
+        assert_eq!(frozen.get_u16_le(), 0xeeff);
+        assert_eq!(frozen.get_u8(), 0x42);
+        assert!(frozen.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_cursor() {
+        let mut b = Bytes::from_static(&[1, 2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.get_u16_le(), 0x0201);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.as_slice(), &[3, 4]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the surface the `bench` crate uses — `criterion_group!` /
+//! `criterion_main!`, `Criterion::default().sample_size(..).warm_up_time(..)
+//! .measurement_time(..)`, `bench_function`, and `Bencher::iter` — as a
+//! simple wall-clock harness: warm up for `warm_up_time`, then run batches
+//! until `measurement_time` elapses (at least `sample_size` batches) and
+//! report mean ns/iter. No statistics, plots, or baselines. Swap in the real
+//! crate via the root `[workspace.dependencies]` once the registry is
+//! reachable.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favor
+/// of `std::hint::black_box`, which the benches use directly).
+pub use std::hint::black_box;
+
+/// Benchmark driver with the `criterion::Criterion` builder API.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(900),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measurement batches to collect (min 1).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to run the routine before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `routine`, printing a one-line mean ns/iter summary.
+    /// Honors `cargo bench -- <filter>`: skipped unless `id` contains
+    /// every positional CLI argument as a substring.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !cli_filters().iter().all(|f| id.contains(f.as_str())) {
+            return self;
+        }
+        let mut b = Bencher::default();
+
+        // Warm-up: run full batches until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            b.reset();
+            routine(&mut b);
+        }
+
+        // Measurement: collect batches until the time budget is spent, with
+        // a floor of `sample_size` batches so short budgets still measure.
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut batches = 0usize;
+        let meas_start = Instant::now();
+        while batches < self.sample_size || meas_start.elapsed() < self.measurement_time {
+            b.reset();
+            routine(&mut b);
+            total += b.elapsed;
+            iters += b.iters;
+            batches += 1;
+            // Hard cap so mis-configured benches cannot run unbounded.
+            if batches >= self.sample_size.saturating_mul(1000) {
+                break;
+            }
+        }
+
+        if iters == 0 {
+            println!("{id:<40} no iterations recorded");
+        } else {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            println!("{id:<40} time: [{ns:>12.1} ns/iter]  ({iters} iters, {batches} samples)");
+        }
+        self
+    }
+}
+
+/// Positional (non-flag) CLI arguments: the benchmark name filters that
+/// `cargo bench -- <filter>` forwards to the harness binary.
+fn cli_filters() -> Vec<String> {
+    std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect()
+}
+
+/// Per-batch timing state handed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn reset(&mut self) {
+        self.elapsed = Duration::ZERO;
+        self.iters = 0;
+    }
+
+    /// Times `inner`, discarding its output through a black box.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut inner: F) {
+        let start = Instant::now();
+        black_box(inner());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+/// Ignores harness CLI flags (`--bench`); exits immediately under
+/// `cargo test`'s `--test` invocation, like the real criterion runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut ran = 0u64;
+        quick().bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    criterion_group!(simple_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        *c = quick();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        simple_group();
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no access to crates.io, so this vendored crate
+//! provides marker `Serialize`/`Deserialize` traits and re-exports the stub
+//! derives. The workspace only uses `#[derive(Serialize)]` as metadata on
+//! report types today; swap in the real `serde` via the root
+//! `[workspace.dependencies]` once the registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
