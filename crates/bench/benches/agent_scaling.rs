@@ -1,0 +1,29 @@
+//! Regenerates the §6 scale-out sweep (saturation throughput vs agent
+//! count) and benchmarks a representative sharded simulation point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_lab::scaling::{run_point, ScalingConfig};
+
+fn agent_scaling(c: &mut Criterion) {
+    bench::banner("§6 scale-out: agent scaling (1-agent baseline vs measured)");
+    let cfg = ScalingConfig::quick();
+    wave_lab::scaling::report(&cfg).print();
+
+    let mut point_cfg = ScalingConfig::quick();
+    point_cfg.duration = wave_sim::SimTime::from_ms(20);
+    point_cfg.warmup = wave_sim::SimTime::from_ms(4);
+    c.bench_function("scaling_point_4_agents_72_workers", |b| {
+        b.iter(|| black_box(run_point(&point_cfg, 4, 72)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = agent_scaling
+}
+criterion_main!(benches);

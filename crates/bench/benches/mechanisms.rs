@@ -23,6 +23,23 @@ fn mechanisms(c: &mut Criterion) {
         })
     });
 
+    // Lazy cancellation must stay O(1) per event: this regressed to an
+    // O(n²) scan when `Sim::cancelled` was a Vec.
+    c.bench_function("des_engine_mass_cancellation", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new();
+            let ids: Vec<_> = (0..10_000u64)
+                .map(|i| sim.schedule(SimTime::from_ns(i), |m: &mut u64, _| *m += 1))
+                .collect();
+            for id in ids {
+                sim.cancel(id);
+            }
+            let mut model = 0u64;
+            sim.run(&mut model);
+            black_box(model)
+        })
+    });
+
     c.bench_function("channel_message_decision_round_trip", |b| {
         let mut ic = Interconnect::pcie();
         let mut ch: WaveChannel<u64, u64> =

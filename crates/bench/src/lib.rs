@@ -20,6 +20,7 @@
 //! | `sol_iteration` | §7.4.2 — SOL iteration durations |
 //! | `sol_footprint` | §7.4.2 — RocksDB footprint reduction |
 //! | `mechanisms` | cross-cutting mechanism microbenchmarks |
+//! | `agent_scaling` | §6 scale-out — throughput vs SmartNIC agent count |
 
 /// Prints a banner so reports stand out in `cargo bench` output.
 pub fn banner(name: &str) {

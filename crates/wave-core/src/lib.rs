@@ -26,6 +26,10 @@
 //! * [`txn`] — transactions, outcomes, and the host-side
 //!   [`txn::GenerationTable`] used for atomic validation.
 //! * [`agent`] — SmartNIC agent lifecycle and its serial compute clock.
+//! * [`runtime`] — the reusable agent-runtime layer: one agent's
+//!   message queue + decision-slot table + pump gating, behind a
+//!   [`runtime::ResourcePolicy`]-driven stage API. Sharded deployments
+//!   instantiate one [`runtime::AgentRuntime`] per agent.
 //! * [`watchdog`] — the per-component on-host watchdog (§3.3: kill an
 //!   agent that has made no decision for >20 ms).
 //! * [`opts`] — the optimization toggles of §5.3/§5.4, used by every
@@ -34,10 +38,12 @@
 pub mod agent;
 pub mod channel;
 pub mod opts;
+pub mod runtime;
 pub mod txn;
 pub mod watchdog;
 
 pub use agent::{Agent, AgentId, AgentState};
+pub use runtime::{AgentRuntime, ResourcePolicy, RuntimeConfig, SlotId, SlotTable, StageCost};
 pub use channel::{ChannelConfig, CommitOutcome, MsixMode, WaveChannel};
 pub use opts::OptLevel;
 pub use txn::{GenerationTable, ResourceRef, Txn, TxnId, TxnOutcome, TxnOutcomeRecord};

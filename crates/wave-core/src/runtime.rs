@@ -1,0 +1,730 @@
+//! The reusable agent-runtime layer.
+//!
+//! Every Wave agent — the thread scheduler, the memory manager, the RPC
+//! steerer — runs the same duty cycle (Fig. 2): *pump* the host→NIC
+//! message queue, run a policy, *stage* decisions into per-resource
+//! slots, and let the host *commit* them against the generation table.
+//! This module extracts that machinery from the scheduling simulation so
+//! it can be instantiated once per agent and reused by other resource
+//! managers:
+//!
+//! * [`SlotTable`] — generic per-resource decision slots in SmartNIC
+//!   DRAM with the full software-coherence semantics (staleness,
+//!   prefetch, `clflush`) of §5.3.2/§5.4.
+//! * [`ResourcePolicy`] — the policy-facing abstraction of the stage
+//!   step: produce a decision for a slot, report compute cost and
+//!   backlog.
+//! * [`AgentRuntime`] — one agent's bundle of message queue, slot
+//!   table, and serial compute clock ([`Agent`]), plus the pump-gating
+//!   state machine (`at most one pump event in flight`) that the
+//!   simulation's event loop drives.
+//!
+//! The runtime is deliberately *mechanism only*: host-side state (which
+//! cores are idle, thread tables, commit validation) stays with the
+//! caller, which is what lets N runtimes shard one host's cores.
+
+use wave_pcie::{Interconnect, LineAddr, PteType, RegionId, SocPteMode};
+use wave_queue::{Direction, PollOutcome, Transport, WaveQueue};
+use wave_sim::cpu::{CoreClass, CpuModel};
+use wave_sim::SimTime;
+
+use crate::agent::{Agent, AgentId};
+
+/// Index of a decision slot within one runtime's [`SlotTable`].
+///
+/// Slots are runtime-local: a sharded deployment maps each global
+/// resource (e.g. a worker core) to `(shard, SlotId)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(pub u32);
+
+#[derive(Debug, Clone, Copy)]
+struct Staged<D> {
+    decision: D,
+    /// When the slot contents reach SmartNIC DRAM.
+    visible_at: SimTime,
+}
+
+/// Per-resource decision slots in SmartNIC DRAM (the paper's Fig. 2
+/// per-core decision queues), generic over the decision payload.
+///
+/// * the **agent** stages a decision into the slot (cheap local store,
+///   which makes any host-cached copy of the line stale);
+/// * the **host**, on an idle transition, prefetches the line, does its
+///   kernel bookkeeping (hiding the fill latency), then reads the slot —
+///   a cache hit if the protocol worked;
+/// * after consuming, the host flushes the line (`clflush`) so the next
+///   prefetch refetches fresh data, and posts a consumed flag the agent
+///   observes locally.
+///
+/// All the staleness hazards are real: if the agent stages *after* the
+/// host's prefetch snapshot, the host misses the decision and falls back
+/// to the idle/MSI-X path — the "prestages may fail" variability the
+/// paper notes under Table 3.
+#[derive(Debug)]
+pub struct SlotTable<D: Copy> {
+    region: RegionId,
+    words: u64,
+    nic_pte: SocPteMode,
+    slots: Vec<Option<Staged<D>>>,
+    /// Count of host reads that found a fresh, visible decision.
+    hits: u64,
+    /// Count of host reads that found nothing (empty, invisible, or
+    /// stale-hidden).
+    misses: u64,
+}
+
+impl<D: Copy> SlotTable<D> {
+    /// Maps one slot (one line) per resource with the given host PTE
+    /// type.
+    pub fn new(
+        ic: &mut Interconnect,
+        slots: u32,
+        words: u64,
+        host_pte: PteType,
+        nic_pte: SocPteMode,
+    ) -> Self {
+        assert!(slots > 0, "need at least one slot");
+        let region = ic.mmio.map_region(host_pte, slots as u64);
+        SlotTable {
+            region,
+            words,
+            nic_pte,
+            slots: vec![None; slots as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn line(&self, slot: SlotId) -> LineAddr {
+        LineAddr::new(self.region, slot.0 as u64)
+    }
+
+    /// Number of slots with a currently staged (agent-side view)
+    /// decision.
+    pub fn staged_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total slots in the table.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the table has no slots (never true — construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether the agent has a decision staged for `slot`.
+    pub fn is_staged(&self, slot: SlotId) -> bool {
+        self.slots[slot.0 as usize].is_some()
+    }
+
+    /// Host-read hit/miss counters (prestage effectiveness telemetry).
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Agent stages (or replaces) a decision for `slot`. Returns the
+    /// agent CPU cost. The host's cached view of the slot line becomes
+    /// stale.
+    pub fn stage(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        slot: SlotId,
+        decision: D,
+    ) -> SimTime {
+        // The agent writes the payload words plus the valid flag and a
+        // txn seal word: a full line for the default 6-word decision
+        // (this is the 8-word write behind the paper's 1013/426 ns
+        // open-decision anchors).
+        let cost = ic.soc.access(self.nic_pte, self.words + 2);
+        let visible_at = now + cost;
+        ic.mmio.note_device_write(self.line(slot), visible_at);
+        self.slots[slot.0 as usize] = Some(Staged {
+            decision,
+            visible_at,
+        });
+        cost
+    }
+
+    /// Agent revokes a staged decision (e.g. the resource died before
+    /// the host consumed it). Returns the agent CPU cost.
+    pub fn revoke(&mut self, now: SimTime, ic: &mut Interconnect, slot: SlotId) -> SimTime {
+        let cost = ic.soc.access(self.nic_pte, 1);
+        let visible_at = now + cost;
+        ic.mmio.note_device_write(self.line(slot), visible_at);
+        self.slots[slot.0 as usize] = None;
+        cost
+    }
+
+    /// Host prefetches `slot`'s line (§5.4). Tiny CPU cost; the fill
+    /// runs in the background.
+    pub fn host_prefetch(&mut self, now: SimTime, ic: &mut Interconnect, slot: SlotId) -> SimTime {
+        ic.mmio.prefetch(now, self.line(slot))
+    }
+
+    /// Host flushes its cached view of `slot` (`clflush`) — run from the
+    /// MSI-X handler before reading a freshly-announced decision
+    /// (§5.3.2).
+    pub fn host_invalidate(&mut self, now: SimTime, ic: &mut Interconnect, slot: SlotId) -> SimTime {
+        ic.mmio.clflush(now, self.line(slot))
+    }
+
+    /// Host reads and (if present) consumes `slot`'s staged decision.
+    ///
+    /// Reads `words` 64-bit words through the MMIO model, so the cost
+    /// depends on PTE type, cache state, and prefetch timing. The
+    /// decision is returned only if its contents were visible *in the
+    /// snapshot the read observed* — a stale cached line hides fresh
+    /// decisions, exactly as on hardware.
+    ///
+    /// On success the host also pays one posted write (consumed flag)
+    /// and one `clflush` (so the next prefetch refetches), and the slot
+    /// empties.
+    pub fn host_consume(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        slot: SlotId,
+    ) -> (SimTime, Option<D>) {
+        let line = self.line(slot);
+        // Read the flag word; further words hit the same line.
+        let first = ic.mmio.read(now, line);
+        let mut cpu_cost = first.cpu;
+        let staged = self.slots[slot.0 as usize];
+        let visible = match staged {
+            Some(s) => s.visible_at <= first.snapshot_at,
+            None => false,
+        };
+        if !visible {
+            self.misses += 1;
+            return (cpu_cost, None);
+        }
+        for _ in 1..self.words {
+            cpu_cost += ic.mmio.read(now + cpu_cost, line).cpu;
+        }
+        self.hits += 1;
+        let decision = staged.expect("checked visible").decision;
+        self.slots[slot.0 as usize] = None;
+        // Consumed flag: posted write the agent observes locally.
+        cpu_cost += ic.mmio.write(now + cpu_cost, line, 1).cpu;
+        // Drop our cached copy so the next prefetch refetches.
+        cpu_cost += ic.mmio.clflush(now + cpu_cost, line);
+        (cpu_cost, Some(decision))
+    }
+}
+
+/// The policy side of the stage step, as seen by an [`AgentRuntime`].
+///
+/// Implementations wrap whatever domain policy the agent runs (a
+/// scheduler run queue, a page-placement ranker, …) plus the host-state
+/// views it needs (generation snapshots, transaction id allocation), and
+/// produce fully-formed decisions ready to stage.
+pub trait ResourcePolicy {
+    /// The staged decision payload.
+    type Decision: Copy;
+
+    /// Produces the next decision for `slot`, if the policy has one.
+    ///
+    /// Returning `None` after consuming internal state (e.g. the picked
+    /// thread's generation snapshot failed) is allowed — the runtime
+    /// charges the compute cost either way, as real agents do.
+    fn produce(&mut self, now: SimTime, slot: SlotId) -> Option<Self::Decision>;
+
+    /// Host-reference CPU cost of one policy invocation (the runtime
+    /// scales it by the agent's core-class ratio).
+    fn compute_cost(&self) -> SimTime;
+
+    /// Number of pending items the policy could still turn into
+    /// decisions (run-queue depth, pending migrations, …).
+    fn backlog(&self) -> usize;
+
+    /// Whether the policy wants decisions eagerly prestaged when the
+    /// backlog is deep (§5.4).
+    fn wants_prestaging(&self) -> bool {
+        true
+    }
+}
+
+/// Cost parameters of one stage step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageCost {
+    /// Core-class scaling applied to the policy's compute cost (e.g.
+    /// the ARM slowdown for a NIC-resident agent).
+    pub ratio: f64,
+    /// Scenario-specific extra per decision (e.g. uncached MMIO header
+    /// reads), already in agent nanoseconds.
+    pub extra: SimTime,
+}
+
+/// Construction parameters for one [`AgentRuntime`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Message-queue capacity in entries.
+    pub queue_capacity: u64,
+    /// 64-bit words per message entry.
+    pub msg_words: u64,
+    /// 64-bit words per staged decision.
+    pub decision_words: u64,
+    /// Decision slots this runtime owns (e.g. its share of worker
+    /// cores).
+    pub slots: u32,
+    /// Host PTE type for the message queue.
+    pub msg_pte: PteType,
+    /// Host PTE type for the decision slots.
+    pub decision_pte: PteType,
+    /// SmartNIC-side mapping mode for both.
+    pub soc_pte: SocPteMode,
+    /// Spin-loop discovery latency: how long after a message becomes
+    /// visible until the polling agent picks it up.
+    pub pickup: SimTime,
+}
+
+/// One agent's runtime: message queue + slot table + serial compute
+/// clock + pump gating.
+///
+/// `M` is the host→agent message type, `D` the staged decision payload.
+/// The runtime owns no host state and no event loop; the embedding
+/// simulation (or, eventually, a real device driver) schedules pump
+/// events at the instants [`AgentRuntime::arm_pump`] returns.
+#[derive(Debug)]
+pub struct AgentRuntime<M, D: Copy> {
+    agent: Agent,
+    msg_q: WaveQueue<M>,
+    slots: SlotTable<D>,
+    pump_armed: bool,
+    pickup: SimTime,
+}
+
+impl<M, D: Copy> AgentRuntime<M, D> {
+    /// Builds the runtime: maps the message queue and the slot table,
+    /// then starts the agent (Table 1 `CREATE_QUEUE` +
+    /// `START_WAVE_AGENT`).
+    pub fn new(
+        ic: &mut Interconnect,
+        id: AgentId,
+        core: CoreClass,
+        cpu: CpuModel,
+        cfg: &RuntimeConfig,
+    ) -> Self {
+        let msg_q = WaveQueue::new(
+            ic,
+            Direction::HostToNic,
+            Transport::Mmio,
+            cfg.queue_capacity,
+            cfg.msg_words,
+            cfg.msg_pte,
+            cfg.soc_pte,
+        );
+        let slots = SlotTable::new(ic, cfg.slots, cfg.decision_words, cfg.decision_pte, cfg.soc_pte);
+        let agent = Agent::start(id, core, cpu);
+        AgentRuntime {
+            agent,
+            msg_q,
+            slots,
+            pump_armed: false,
+            pickup: cfg.pickup,
+        }
+    }
+
+    // --- Host side: message submission ---------------------------------
+
+    /// Host pushes one message, retrying once after a credit refresh.
+    /// Returns `(cpu_cost, delivered)`; the queue is sized so the retry
+    /// is rare and a second failure means overload.
+    pub fn host_send(&mut self, now: SimTime, ic: &mut Interconnect, msg: M) -> (SimTime, bool) {
+        let mut cost = SimTime::ZERO;
+        match self.msg_q.push(now, ic, msg) {
+            Ok(out) => {
+                cost += out.cpu;
+                (cost, true)
+            }
+            Err(rej) => {
+                cost += self.msg_q.sync_credits(now + cost, ic);
+                match self.msg_q.push(now + cost, ic, rej.payload) {
+                    Ok(out) => {
+                        cost += out.cpu;
+                        (cost, true)
+                    }
+                    Err(_) => (cost, false),
+                }
+            }
+        }
+    }
+
+    /// Host pushes one message with no retry (paths that tolerate loss,
+    /// e.g. a preemption requeue racing queue exhaustion). Returns the
+    /// CPU cost on success.
+    pub fn host_try_send(&mut self, now: SimTime, ic: &mut Interconnect, msg: M) -> Option<SimTime> {
+        self.msg_q.push(now, ic, msg).ok().map(|out| out.cpu)
+    }
+
+    /// Host flushes the message queue so pushed entries become visible
+    /// to the agent after the interconnect delay.
+    pub fn host_flush(&mut self, now: SimTime, ic: &mut Interconnect) -> SimTime {
+        self.msg_q.flush(now, ic)
+    }
+
+    // --- Agent side: the duty cycle ------------------------------------
+
+    /// Arms the pump gate: returns the time the pump event should fire
+    /// (message pickup after `at`, serialized behind in-flight agent
+    /// work), or `None` if a pump is already scheduled.
+    ///
+    /// The caller schedules the event, and the event handler calls
+    /// [`AgentRuntime::pump_fired`] before pumping, re-opening the gate.
+    pub fn arm_pump(&mut self, at: SimTime) -> Option<SimTime> {
+        if self.pump_armed {
+            return None;
+        }
+        self.pump_armed = true;
+        Some(at.max(self.agent.busy_until()) + self.pickup)
+    }
+
+    /// Marks the armed pump event as fired, allowing the next arm.
+    pub fn pump_fired(&mut self) {
+        self.pump_armed = false;
+    }
+
+    /// Agent drains up to `max` visible messages (`POLL_MESSAGES`).
+    pub fn poll(&mut self, now: SimTime, ic: &mut Interconnect, max: usize) -> PollOutcome<M> {
+        self.msg_q.poll_nic(now, ic, max)
+    }
+
+    /// When pushed-but-not-yet-visible messages can next be seen.
+    pub fn next_visible_at(&self) -> Option<SimTime> {
+        self.msg_q.next_visible_at()
+    }
+
+    /// One stage step: charge the policy's compute cost (scaled per
+    /// `stage_cost`), ask `policy` for a decision, and stage it into
+    /// `slot`. Accumulates agent CPU into `cost`; returns whether a
+    /// decision was staged.
+    pub fn stage_with<P: ResourcePolicy<Decision = D>>(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        policy: &mut P,
+        slot: SlotId,
+        stage_cost: StageCost,
+        cost: &mut SimTime,
+    ) -> bool {
+        *cost += policy.compute_cost().scale(stage_cost.ratio);
+        *cost += stage_cost.extra;
+        let Some(d) = policy.produce(now, slot) else {
+            return false;
+        };
+        *cost += self.slots.stage(now + *cost, ic, slot, d);
+        true
+    }
+
+    /// Stages a caller-built decision directly (e.g. a "continue"
+    /// decision at a slice boundary). Returns the agent CPU cost.
+    pub fn stage_raw(&mut self, now: SimTime, ic: &mut Interconnect, slot: SlotId, d: D) -> SimTime {
+        self.slots.stage(now, ic, slot, d)
+    }
+
+    /// §5.4 eager prestaging: walk `candidates` (slots whose resource is
+    /// busy, in caller-chosen order) and stage one decision into each
+    /// empty slot while the policy wants prestaging and reports backlog.
+    /// Each staged decision is recorded on the agent's telemetry at its
+    /// accumulated-cost instant. Returns how many were staged.
+    pub fn prestage_with<P: ResourcePolicy<Decision = D>>(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        policy: &mut P,
+        candidates: impl IntoIterator<Item = SlotId>,
+        stage_cost: StageCost,
+        cost: &mut SimTime,
+    ) -> u32 {
+        if !policy.wants_prestaging() {
+            return 0;
+        }
+        let mut staged = 0;
+        for slot in candidates {
+            if policy.backlog() == 0 {
+                break;
+            }
+            if !self.slots.is_staged(slot)
+                && self.stage_with(now, ic, policy, slot, stage_cost, cost)
+            {
+                self.agent.record_decision(now + *cost);
+                staged += 1;
+            }
+        }
+        staged
+    }
+
+    // --- Accessors ------------------------------------------------------
+
+    /// The slot table (host consume/prefetch/invalidate paths).
+    pub fn slots(&mut self) -> &mut SlotTable<D> {
+        &mut self.slots
+    }
+
+    /// Read-only slot-table view.
+    pub fn slots_ref(&self) -> &SlotTable<D> {
+        &self.slots
+    }
+
+    /// The underlying agent (lifecycle, compute clock, telemetry).
+    pub fn agent(&self) -> &Agent {
+        &self.agent
+    }
+
+    /// Mutable agent access (kill/restart, fault injection).
+    pub fn agent_mut(&mut self) -> &mut Agent {
+        &mut self.agent
+    }
+
+    /// Whether the agent is alive and polling.
+    pub fn is_running(&self) -> bool {
+        self.agent.is_running()
+    }
+
+    /// When the agent can next accept work.
+    pub fn busy_until(&self) -> SimTime {
+        self.agent.busy_until()
+    }
+
+    /// Runs pre-scaled work on the agent's serial clock.
+    pub fn run_raw(&mut self, now: SimTime, cost: SimTime) -> SimTime {
+        self.agent.run_raw(now, cost)
+    }
+
+    /// Records a produced decision (watchdog liveness + telemetry).
+    pub fn record_decision(&mut self, at: SimTime) {
+        self.agent.record_decision(at);
+    }
+
+    /// Decisions produced so far.
+    pub fn decisions(&self) -> u64 {
+        self.agent.decisions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_core_test_support::*;
+
+    // Local test support: a trivial FIFO policy over u64 decisions.
+    mod wave_core_test_support {
+        use super::{ResourcePolicy, SlotId};
+        use std::collections::VecDeque;
+        use wave_sim::SimTime;
+
+        pub struct FifoU64 {
+            pub queue: VecDeque<u64>,
+        }
+
+        impl ResourcePolicy for FifoU64 {
+            type Decision = u64;
+            fn produce(&mut self, _now: SimTime, _slot: SlotId) -> Option<u64> {
+                self.queue.pop_front()
+            }
+            fn compute_cost(&self) -> SimTime {
+                SimTime::from_ns(100)
+            }
+            fn backlog(&self) -> usize {
+                self.queue.len()
+            }
+        }
+    }
+
+    fn runtime(ic: &mut Interconnect) -> AgentRuntime<u64, u64> {
+        let cfg = RuntimeConfig {
+            queue_capacity: 64,
+            msg_words: 4,
+            decision_words: 6,
+            slots: 4,
+            msg_pte: PteType::WriteCombining,
+            decision_pte: PteType::WriteThrough,
+            soc_pte: SocPteMode::WriteBack,
+            pickup: SimTime::from_ns(100),
+        };
+        AgentRuntime::new(
+            ic,
+            AgentId(0),
+            CoreClass::NicArm,
+            CpuModel::mount_evans(),
+            &cfg,
+        )
+    }
+
+    #[test]
+    fn pump_gate_admits_one_event() {
+        let mut ic = Interconnect::pcie();
+        let mut rt = runtime(&mut ic);
+        let t = rt.arm_pump(SimTime::from_us(1)).expect("first arm fires");
+        assert_eq!(t, SimTime::from_us(1) + SimTime::from_ns(100));
+        assert!(rt.arm_pump(SimTime::from_us(2)).is_none(), "gate closed");
+        rt.pump_fired();
+        assert!(rt.arm_pump(SimTime::from_us(3)).is_some(), "gate reopens");
+    }
+
+    #[test]
+    fn pump_serializes_behind_agent_work() {
+        let mut ic = Interconnect::pcie();
+        let mut rt = runtime(&mut ic);
+        rt.run_raw(SimTime::ZERO, SimTime::from_us(5));
+        let t = rt.arm_pump(SimTime::from_us(1)).unwrap();
+        assert_eq!(t, SimTime::from_us(5) + SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn send_poll_round_trip() {
+        let mut ic = Interconnect::pcie();
+        let mut rt = runtime(&mut ic);
+        let (cost, ok) = rt.host_send(SimTime::ZERO, &mut ic, 41u64);
+        assert!(ok);
+        let flushed = cost + rt.host_flush(cost, &mut ic);
+        let visible = flushed + ic.one_way();
+        let polled = rt.poll(visible, &mut ic, 16);
+        assert_eq!(polled.items, vec![41]);
+    }
+
+    #[test]
+    fn stage_with_policy_charges_cost_and_stages() {
+        let mut ic = Interconnect::pcie();
+        let mut rt = runtime(&mut ic);
+        let mut policy = FifoU64 {
+            queue: [7u64].into_iter().collect(),
+        };
+        let mut cost = SimTime::ZERO;
+        let staged = rt.stage_with(
+            SimTime::from_us(1),
+            &mut ic,
+            &mut policy,
+            SlotId(2),
+            StageCost {
+                ratio: 2.0,
+                extra: SimTime::from_ns(30),
+            },
+            &mut cost,
+        );
+        assert!(staged);
+        assert!(rt.slots_ref().is_staged(SlotId(2)));
+        // 100 ns compute × 2.0 ratio + 30 ns extra + the slot write.
+        assert!(cost >= SimTime::from_ns(230), "cost {cost}");
+        // Empty policy: cost still charged, nothing staged.
+        let mut cost2 = SimTime::ZERO;
+        let staged2 = rt.stage_with(
+            SimTime::from_us(2),
+            &mut ic,
+            &mut policy,
+            SlotId(3),
+            StageCost {
+                ratio: 2.0,
+                extra: SimTime::ZERO,
+            },
+            &mut cost2,
+        );
+        assert!(!staged2);
+        assert_eq!(cost2, SimTime::from_ns(200));
+        assert!(!rt.slots_ref().is_staged(SlotId(3)));
+    }
+
+    #[test]
+    fn prestage_respects_policy_backlog_and_occupancy() {
+        let mut ic = Interconnect::pcie();
+        let mut rt = runtime(&mut ic);
+        // Slot 1 already holds a decision; backlog of two more.
+        rt.stage_raw(SimTime::ZERO, &mut ic, SlotId(1), 50u64);
+        let mut policy = FifoU64 {
+            queue: [7u64, 8].into_iter().collect(),
+        };
+        let sc = StageCost {
+            ratio: 1.0,
+            extra: SimTime::ZERO,
+        };
+        let mut cost = SimTime::ZERO;
+        let staged = rt.prestage_with(
+            SimTime::from_us(1),
+            &mut ic,
+            &mut policy,
+            [SlotId(0), SlotId(1), SlotId(2), SlotId(3)],
+            sc,
+            &mut cost,
+        );
+        // Slot 0 and 2 get the backlog; slot 1 is occupied, and the
+        // backlog is dry before slot 3.
+        assert_eq!(staged, 2);
+        assert!(rt.slots_ref().is_staged(SlotId(0)));
+        assert!(rt.slots_ref().is_staged(SlotId(2)));
+        assert!(!rt.slots_ref().is_staged(SlotId(3)));
+        assert_eq!(rt.decisions(), 2, "prestages are recorded as decisions");
+        assert_eq!(policy.backlog(), 0);
+    }
+
+    #[test]
+    fn prestage_honors_wants_prestaging() {
+        struct NoPrestage(FifoU64);
+        impl ResourcePolicy for NoPrestage {
+            type Decision = u64;
+            fn produce(&mut self, now: SimTime, slot: SlotId) -> Option<u64> {
+                self.0.produce(now, slot)
+            }
+            fn compute_cost(&self) -> SimTime {
+                self.0.compute_cost()
+            }
+            fn backlog(&self) -> usize {
+                self.0.backlog()
+            }
+            fn wants_prestaging(&self) -> bool {
+                false
+            }
+        }
+        let mut ic = Interconnect::pcie();
+        let mut rt = runtime(&mut ic);
+        let mut policy = NoPrestage(FifoU64 {
+            queue: [1u64].into_iter().collect(),
+        });
+        let mut cost = SimTime::ZERO;
+        let staged = rt.prestage_with(
+            SimTime::from_us(1),
+            &mut ic,
+            &mut policy,
+            [SlotId(0)],
+            StageCost {
+                ratio: 1.0,
+                extra: SimTime::ZERO,
+            },
+            &mut cost,
+        );
+        assert_eq!(staged, 0);
+        assert_eq!(cost, SimTime::ZERO, "declined prestaging costs nothing");
+        assert_eq!(policy.backlog(), 1);
+    }
+
+    #[test]
+    fn host_consume_returns_staged_decision() {
+        let mut ic = Interconnect::pcie();
+        let mut rt = runtime(&mut ic);
+        rt.stage_raw(SimTime::ZERO, &mut ic, SlotId(1), 99u64);
+        let slots = rt.slots();
+        slots.host_invalidate(SimTime::from_us(1), &mut ic, SlotId(1));
+        let (_c, got) = slots.host_consume(SimTime::from_us(2), &mut ic, SlotId(1));
+        assert_eq!(got, Some(99));
+        let (_c, empty) = slots.host_consume(SimTime::from_us(3), &mut ic, SlotId(1));
+        assert!(empty.is_none());
+    }
+
+    #[test]
+    fn try_send_reports_overload() {
+        let mut ic = Interconnect::pcie();
+        let mut rt = runtime(&mut ic);
+        let mut delivered = 0u64;
+        for i in 0..200u64 {
+            if rt.host_try_send(SimTime::from_ns(i), &mut ic, i).is_some() {
+                delivered += 1;
+            }
+        }
+        // Capacity is 64 and nothing polls: pushes must start failing.
+        assert!(delivered < 200, "delivered {delivered}");
+    }
+}

@@ -30,6 +30,7 @@ use wave_sim::SimTime;
 
 use crate::cost::CostModel;
 use crate::msg::{CpuId, SchedMsg, SchedMsgKind, Tid};
+use wave_core::runtime::SlotId;
 use crate::sim::Placement;
 use crate::slots::{DecisionSlots, SlotDecision};
 
@@ -91,7 +92,7 @@ fn decision() -> SlotDecision {
 pub fn open_decision(placement: Placement, opts: OptLevel) -> SimTime {
     let (mut ic, mut slots, _q, _cost) = test_rig(placement, opts);
     let t0 = SimTime::from_us(10);
-    let mut cost = slots.agent_stage(t0, &mut ic, CpuId(0), decision());
+    let mut cost = slots.stage(t0, &mut ic, SlotId(0), decision());
     let side = match placement {
         Placement::OnHost => wave_pcie::config::Side::Host,
         Placement::Offloaded => wave_pcie::config::Side::Nic,
@@ -128,19 +129,19 @@ pub fn context_switch(placement: Placement, opts: OptLevel) -> SimTime {
 
     if opts.prestage {
         // Agent staged the next decision earlier.
-        slots.agent_stage(SimTime::from_us(1), &mut ic, cpu, decision());
+        slots.stage(SimTime::from_us(1), &mut ic, SlotId(cpu.0), decision());
         // Fast path: prefetch, kernel bookkeeping + message, consume,
         // commit, switch.
         let mut t = t0;
         if opts.prefetch {
-            t += slots.host_prefetch(t, &mut ic, cpu);
+            t += slots.host_prefetch(t, &mut ic, SlotId(cpu.0));
         }
         t += cost_model.kernel_event();
         let msg = SchedMsg::new(Tid(9), SchedMsgKind::Blocked, Some(cpu));
         let push = msg_q.push(t, &mut ic, msg).expect("room");
         t += push.cpu;
         t += msg_q.flush(t, &mut ic);
-        let (c, got) = slots.host_consume(t, &mut ic, cpu);
+        let (c, got) = slots.host_consume(t, &mut ic, SlotId(cpu.0));
         t += c;
         assert!(got.is_some(), "prestaged decision must be found");
         t += cost_model.commit_path(offloaded);
@@ -164,13 +165,13 @@ pub fn context_switch(placement: Placement, opts: OptLevel) -> SimTime {
     agent_t += polled.cpu;
     agent_t += ic.soc.access(opts.soc_pte(), cost_model.agent_state_words);
     agent_t += policy_compute;
-    agent_t += slots.agent_stage(agent_t, &mut ic, cpu, decision());
+    agent_t += slots.stage(agent_t, &mut ic, SlotId(cpu.0), decision());
     let d = ic.msix.send(agent_t, MsixVector(0), MsixSendPath::Ioctl, side);
 
     // Host IRQ: coherence flush + read + commit + switch.
     let mut h = d.handler_at;
-    h += slots.host_invalidate(h, &mut ic, cpu);
-    let (c, got) = slots.host_consume(h, &mut ic, cpu);
+    h += slots.host_invalidate(h, &mut ic, SlotId(cpu.0));
+    let (c, got) = slots.host_consume(h, &mut ic, SlotId(cpu.0));
     h += c;
     assert!(got.is_some(), "decision must be visible after the IRQ");
     h += cost_model.commit_path(offloaded);

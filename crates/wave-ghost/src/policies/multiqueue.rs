@@ -80,7 +80,7 @@ impl SchedPolicy for MultiQueueShinjuku {
             if let Some(&(_tid, arrival)) = q.front() {
                 let waited = now.saturating_sub(arrival).as_ns() as f64;
                 let frac = waited / target.as_ns().max(1) as f64;
-                if best.map_or(true, |(_, b)| frac > b) {
+                if best.is_none_or(|(_, b)| frac > b) {
                     best = Some((i, frac));
                 }
             }

@@ -13,14 +13,23 @@
 //! slots; the host consumes them on idle transitions (prestaged path) or
 //! after an MSI-X (idle/preemption path); commits are validated against
 //! the kernel's generation table.
+//!
+//! **Sharding (§6 scale-out):** the agent machinery lives in
+//! [`wave_core::runtime::AgentRuntime`], and [`SchedConfig::agents`]
+//! instantiates N of them, each owning a static contiguous slice of the
+//! worker cores with its own message queue, decision slots, and policy
+//! run queue. New-thread wakeups are routed round-robin (`tid % agents`);
+//! core-bound events go to the core's owning shard. With
+//! [`SchedConfig::steal`] an idle shard whose run queue is empty pulls
+//! work from the deepest sibling run queue before leaving a core idle.
 
 use std::collections::HashMap;
 
 use rand::rngs::SmallRng;
+use wave_core::runtime::{AgentRuntime, ResourcePolicy, RuntimeConfig, SlotId, StageCost};
 use wave_core::txn::{GenerationTable, TxnId};
-use wave_core::{Agent, AgentId, OptLevel};
+use wave_core::{AgentId, OptLevel};
 use wave_pcie::{Interconnect, MsixSendPath, MsixVector, PcieConfig};
-use wave_queue::{Direction, Transport, WaveQueue};
 use wave_sim::cpu::{CoreClass, CpuModel, WorkloadClass};
 use wave_sim::dist::Exp;
 use wave_sim::stats::{Histogram, Summary};
@@ -29,7 +38,7 @@ use wave_sim::{Sim, SimTime};
 use crate::cost::CostModel;
 use crate::msg::{CpuId, SchedMsg, SchedMsgKind, Tid};
 use crate::policy::{SchedPolicy, SloClass, ThreadMeta};
-use crate::slots::{DecisionSlots, SlotDecision};
+use crate::slots::SlotDecision;
 
 /// Where the agent runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,66 +62,87 @@ pub struct MixEntry {
 }
 
 /// The request service-time mix of the workload.
+///
+/// Construction precomputes a cumulative-weight table so per-arrival
+/// sampling is a single uniform draw plus a table probe instead of a
+/// full walk over the entries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceMix {
-    /// Mix components.
-    pub entries: Vec<MixEntry>,
+    entries: Vec<MixEntry>,
+    /// Cumulative weights; `cum.last() == total`.
+    cum: Vec<f64>,
+    total: f64,
 }
 
 impl ServiceMix {
+    /// Builds a mix from its components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty.
+    pub fn new(entries: Vec<MixEntry>) -> Self {
+        assert!(!entries.is_empty(), "mix is non-empty");
+        let mut cum = Vec::with_capacity(entries.len());
+        let mut total = 0.0;
+        for e in &entries {
+            total += e.weight;
+            cum.push(total);
+        }
+        ServiceMix { entries, cum, total }
+    }
+
     /// 100% 10 µs GET requests (Fig. 4a).
     pub fn gets_10us() -> Self {
-        ServiceMix {
-            entries: vec![MixEntry {
-                weight: 1.0,
-                service: SimTime::from_us(10),
-                slo: SloClass(0),
-            }],
-        }
+        ServiceMix::new(vec![MixEntry {
+            weight: 1.0,
+            service: SimTime::from_us(10),
+            slo: SloClass(0),
+        }])
     }
 
     /// The paper's dispersive mix: 99.5% 10 µs GETs and 0.5% 10 ms RANGE
     /// queries (Figs. 4b and 6).
     pub fn paper_bimodal() -> Self {
-        ServiceMix {
-            entries: vec![
-                MixEntry {
-                    weight: 0.995,
-                    service: SimTime::from_us(10),
-                    slo: SloClass(0),
-                },
-                MixEntry {
-                    weight: 0.005,
-                    service: SimTime::from_ms(10),
-                    slo: SloClass(1),
-                },
-            ],
-        }
+        ServiceMix::new(vec![
+            MixEntry {
+                weight: 0.995,
+                service: SimTime::from_us(10),
+                slo: SloClass(0),
+            },
+            MixEntry {
+                weight: 0.005,
+                service: SimTime::from_ms(10),
+                slo: SloClass(1),
+            },
+        ])
+    }
+
+    /// The mix components.
+    pub fn entries(&self) -> &[MixEntry] {
+        &self.entries
     }
 
     /// Mean service time of the mix.
     pub fn mean_service(&self) -> SimTime {
-        let total_w: f64 = self.entries.iter().map(|e| e.weight).sum();
         let mean_ns: f64 = self
             .entries
             .iter()
-            .map(|e| e.weight / total_w * e.service.as_ns() as f64)
+            .map(|e| e.weight / self.total * e.service.as_ns() as f64)
             .sum();
         SimTime::from_ns(mean_ns as u64)
     }
 
     fn sample(&self, rng: &mut SmallRng) -> (SimTime, SloClass) {
         use rand::Rng;
-        let total_w: f64 = self.entries.iter().map(|e| e.weight).sum();
-        let mut u: f64 = rng.random::<f64>() * total_w;
-        for e in &self.entries {
-            if u < e.weight {
-                return (e.service, e.slo);
-            }
-            u -= e.weight;
-        }
-        let last = self.entries.last().expect("mix is non-empty");
-        (last.service, last.slo)
+        let u: f64 = rng.random::<f64>() * self.total;
+        // First entry whose cumulative weight exceeds the draw; the last
+        // entry absorbs any floating-point shortfall.
+        let idx = self
+            .cum
+            .partition_point(|&c| c <= u)
+            .min(self.entries.len() - 1);
+        let e = self.entries[idx];
+        (e.service, e.slo)
     }
 }
 
@@ -145,6 +175,13 @@ pub struct IngressConfig {
 pub struct SchedConfig {
     /// Number of worker cores running request threads.
     pub workers: u32,
+    /// Number of agents the worker cores are sharded across (§6
+    /// scale-out). Each agent owns a static contiguous core slice with
+    /// its own message queue, decision slots, and policy instance.
+    pub agents: u32,
+    /// Whether an idle shard with an empty run queue may steal work
+    /// from the deepest sibling run queue (multi-agent only).
+    pub steal: bool,
     /// Agent placement.
     pub placement: Placement,
     /// Wave optimization level (ignored mappings for on-host).
@@ -177,10 +214,13 @@ pub struct SchedConfig {
 }
 
 impl SchedConfig {
-    /// A Fig. 4a-shaped default: `workers` cores, FIFO-ready, 10 µs GETs.
+    /// A Fig. 4a-shaped default: `workers` cores, one agent, FIFO-ready,
+    /// 10 µs GETs.
     pub fn new(workers: u32, placement: Placement, opts: OptLevel) -> Self {
         SchedConfig {
             workers,
+            agents: 1,
+            steal: false,
             placement,
             opts,
             cost: CostModel::calibrated(),
@@ -217,8 +257,10 @@ pub struct SchedReport {
     pub prestage_misses: u64,
     /// MSI-X interrupts sent.
     pub msix_sent: u64,
-    /// Decisions the agent produced.
+    /// Decisions the agents produced (all shards).
     pub agent_decisions: u64,
+    /// Decisions per agent shard (length = `agents`).
+    pub per_agent_decisions: Vec<u64>,
     /// Diagnostic counters (kick/commit pathology analysis).
     pub diag: Diag,
 }
@@ -236,7 +278,7 @@ pub struct Diag {
     pub complete_hit: u64,
     /// Idle transitions that found nothing.
     pub complete_miss: u64,
-    /// Agent pump invocations.
+    /// Agent pump invocations (all shards).
     pub pumps: u64,
     /// Agent-side slice expiries that staged a preemption.
     pub preempt_staged: u64,
@@ -244,6 +286,8 @@ pub struct Diag {
     pub preempt_extend: u64,
     /// Preemption IRQs that switched threads.
     pub preempt_switch: u64,
+    /// Decisions an idle shard stole from a sibling's run queue.
+    pub steals: u64,
     /// Requests still outstanding at the end of the run.
     pub outstanding_at_end: u64,
 }
@@ -263,6 +307,14 @@ struct ThreadState {
     run: ThreadRun,
 }
 
+/// Worker-core state machine, as the *host kernel* sees it.
+///
+/// `Idle { waiting: true }` means the core parked with nothing to run
+/// and the owning agent owes it an MSI-X as soon as a decision exists;
+/// the flag is set on every idle transition that finds no prestaged
+/// decision (and re-armed when the agent observes the core's
+/// blocked/yield/dead message), and cleared the moment the agent kicks
+/// the core so duplicate interrupts are not sent.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum CoreState {
     /// Idle; `waiting` means the agent owes this core an MSI-X wakeup.
@@ -271,14 +323,59 @@ enum CoreState {
     Busy { tid: Tid, token: u64 },
 }
 
+/// One agent shard: its runtime bundle plus its policy instance.
+struct Shard {
+    rt: AgentRuntime<SchedMsg, SlotDecision>,
+    policy: Box<dyn SchedPolicy>,
+}
+
+/// Adapts a [`SchedPolicy`] pick plus the host-side generation/txn state
+/// into the [`ResourcePolicy`] the runtime stages decisions through.
+struct PickProducer<'a> {
+    policy: &'a mut dyn SchedPolicy,
+    gen: &'a GenerationTable,
+    next_txn: &'a mut u64,
+}
+
+impl ResourcePolicy for PickProducer<'_> {
+    type Decision = SlotDecision;
+
+    fn produce(&mut self, now: SimTime, _slot: SlotId) -> Option<SlotDecision> {
+        let tid = self.policy.pick_next(now)?;
+        // Thread vanished between message and pick; drop it.
+        let target = self.gen.snapshot(tid.0)?;
+        let txn = TxnId(*self.next_txn);
+        *self.next_txn += 1;
+        Some(SlotDecision {
+            txn,
+            tid,
+            target,
+            preempt: false,
+        })
+    }
+
+    fn compute_cost(&self) -> SimTime {
+        self.policy.compute_cost()
+    }
+
+    fn backlog(&self) -> usize {
+        self.policy.queue_depth()
+    }
+
+    fn wants_prestaging(&self) -> bool {
+        self.policy.wants_prestaging()
+    }
+}
+
 /// The scheduling simulation model. Drive it with [`SchedSim::run`].
 pub struct SchedSim {
     cfg: SchedConfig,
     ic: Interconnect,
-    agent: Agent,
-    policy: Box<dyn SchedPolicy>,
-    slots: DecisionSlots,
-    msg_q: WaveQueue<SchedMsg>,
+    shards: Vec<Shard>,
+    /// Global core index → owning shard.
+    core_shard: Vec<u32>,
+    /// First global core index of each shard (for local slot ids).
+    shard_start: Vec<u32>,
     gen: GenerationTable,
     threads: HashMap<u64, ThreadState>,
     cores: Vec<CoreState>,
@@ -291,49 +388,85 @@ pub struct SchedSim {
     lat: Histogram,
     completed_measured: u64,
     dropped: u64,
-    agent_pump_scheduled: bool,
     agent_core: CoreClass,
     offloaded: bool,
     diag: Diag,
     stack_busy: Vec<SimTime>,
+    /// Reused candidate buffer for the prestage walk (keeps the pump
+    /// hot path allocation-free).
+    prestage_scratch: Vec<SlotId>,
 }
 
 type S = Sim<SchedSim>;
 
 impl SchedSim {
-    /// Builds the model for a configuration and policy.
+    /// Builds a single-agent model for a configuration and policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.agents != 1` — a sharded deployment needs one
+    /// policy instance per shard; use [`SchedSim::with_policy_factory`].
     pub fn new(cfg: SchedConfig, policy: Box<dyn SchedPolicy>) -> Self {
+        assert_eq!(
+            cfg.agents, 1,
+            "SchedSim::new wires one policy; use with_policy_factory for agents > 1"
+        );
+        Self::build(cfg, vec![policy])
+    }
+
+    /// Builds the model with one policy instance per agent shard, made
+    /// by `make(shard_index)`.
+    pub fn with_policy_factory(
+        cfg: SchedConfig,
+        mut make: impl FnMut(u32) -> Box<dyn SchedPolicy>,
+    ) -> Self {
+        let policies = (0..cfg.agents).map(&mut make).collect();
+        Self::build(cfg, policies)
+    }
+
+    fn build(cfg: SchedConfig, policies: Vec<Box<dyn SchedPolicy>>) -> Self {
+        assert!(cfg.agents >= 1, "need at least one agent");
+        assert!(
+            cfg.workers >= cfg.agents,
+            "need at least one worker core per agent"
+        );
         let (pcfg, agent_core, offloaded) = match cfg.placement {
             Placement::OnHost => (PcieConfig::host_local(), CoreClass::HostX86, false),
             Placement::Offloaded => (cfg.interconnect.clone(), CoreClass::NicArm, true),
         };
         let mut ic = Interconnect::new(pcfg);
-        let msg_q = WaveQueue::new(
-            &mut ic,
-            Direction::HostToNic,
-            Transport::Mmio,
-            4096,
-            cfg.cost.msg_words,
-            cfg.opts.message_queue_pte(),
-            cfg.opts.soc_pte(),
-        );
-        let slots = DecisionSlots::new(
-            &mut ic,
-            cfg.workers,
-            cfg.cost.decision_words,
-            cfg.opts.decision_queue_pte(),
-            cfg.opts.soc_pte(),
-        );
-        let agent = Agent::start(AgentId(0), agent_core, cfg.cpu);
+        let mut shards = Vec::with_capacity(cfg.agents as usize);
+        let mut core_shard = vec![0u32; cfg.workers as usize];
+        let mut shard_start = Vec::with_capacity(cfg.agents as usize);
+        for (i, policy) in policies.into_iter().enumerate() {
+            // Static contiguous slices, balanced to within one core.
+            let start = (i as u64 * cfg.workers as u64 / cfg.agents as u64) as u32;
+            let end = ((i as u64 + 1) * cfg.workers as u64 / cfg.agents as u64) as u32;
+            shard_start.push(start);
+            for c in start..end {
+                core_shard[c as usize] = i as u32;
+            }
+            let rcfg = RuntimeConfig {
+                queue_capacity: 4096,
+                msg_words: cfg.cost.msg_words,
+                decision_words: cfg.cost.decision_words,
+                slots: end - start,
+                msg_pte: cfg.opts.message_queue_pte(),
+                decision_pte: cfg.opts.decision_queue_pte(),
+                soc_pte: cfg.opts.soc_pte(),
+                pickup: SimTime::from_ns(cfg.cost.agent_pickup_ns),
+            };
+            let rt = AgentRuntime::new(&mut ic, AgentId(i as u32), agent_core, cfg.cpu, &rcfg);
+            shards.push(Shard { rt, policy });
+        }
         let inter_arrival = Exp::new(cfg.offered / 1e9); // events per ns
         let rng = wave_sim::rng(cfg.seed);
         SchedSim {
             cores: vec![CoreState::Idle { waiting: true }; cfg.workers as usize],
             ic,
-            agent,
-            policy,
-            slots,
-            msg_q,
+            shards,
+            core_shard,
+            shard_start,
             gen: GenerationTable::new(),
             threads: HashMap::new(),
             rng,
@@ -345,7 +478,6 @@ impl SchedSim {
             lat: Histogram::new(),
             completed_measured: 0,
             dropped: 0,
-            agent_pump_scheduled: false,
             agent_core,
             offloaded,
             diag: Diag::default(),
@@ -353,8 +485,30 @@ impl SchedSim {
                 SimTime::ZERO;
                 cfg.ingress.map_or(0, |i| i.stack_cores as usize)
             ],
+            prestage_scratch: Vec::with_capacity(cfg.workers as usize),
             cfg,
         }
+    }
+
+    /// Shard owning a worker core.
+    fn shard_of(&self, cpu: CpuId) -> usize {
+        self.core_shard[cpu.0 as usize] as usize
+    }
+
+    /// A core's slot index within its owning shard's slot table.
+    fn local_slot(&self, cpu: CpuId) -> SlotId {
+        SlotId(cpu.0 - self.shard_start[self.shard_of(cpu)])
+    }
+
+    /// Global core range owned by shard `si`.
+    fn shard_cores(&self, si: usize) -> std::ops::Range<u32> {
+        let start = self.shard_start[si];
+        let end = self
+            .shard_start
+            .get(si + 1)
+            .copied()
+            .unwrap_or(self.cfg.workers);
+        start..end
     }
 
     /// Runs the experiment to completion and reports.
@@ -366,7 +520,15 @@ impl SchedSim {
         sim.run(&mut self);
         let window = self.cfg.duration - self.cfg.warmup;
         let achieved = self.completed_measured as f64 / window.as_secs_f64();
-        let (hits, misses) = self.slots.hit_miss();
+        let (mut hits, mut misses, mut decisions) = (0u64, 0u64, 0u64);
+        let mut per_agent_decisions = Vec::with_capacity(self.shards.len());
+        for sh in &self.shards {
+            let (h, m) = sh.rt.slots_ref().hit_miss();
+            hits += h;
+            misses += m;
+            decisions += sh.rt.decisions();
+            per_agent_decisions.push(sh.rt.decisions());
+        }
         self.diag.outstanding_at_end = self.outstanding as u64;
         SchedReport {
             offered: self.cfg.offered,
@@ -377,7 +539,8 @@ impl SchedSim {
             prestage_hits: hits,
             prestage_misses: misses,
             msix_sent: self.ic.msix.sent(),
-            agent_decisions: self.agent.decisions(),
+            agent_decisions: decisions,
+            per_agent_decisions,
             diag: self.diag,
         }
     }
@@ -445,56 +608,48 @@ impl SchedSim {
                 run: ThreadRun::Runnable,
             },
         );
-        // The load generator core sends the wakeup message (its CPU time
-        // is not charged against worker throughput, matching the paper's
-        // setup where the generator has its own resources).
+        // New threads are not yet bound to a core: route the wakeup
+        // round-robin across the agent shards. The load generator core
+        // sends the message (its CPU time is not charged against worker
+        // throughput, matching the paper's setup where the generator has
+        // its own resources).
+        let si = (tid.0 % self.shards.len() as u64) as usize;
         let msg = SchedMsg::new(tid, SchedMsgKind::Wakeup, None);
-        let mut cost = SimTime::ZERO;
-        match self.msg_q.push(now, &mut self.ic, msg) {
-            Ok(out) => cost += out.cpu,
-            Err(rej) => {
-                cost += self.msg_q.sync_credits(now, &mut self.ic);
-                match self.msg_q.push(now + cost, &mut self.ic, rej.payload) {
-                    Ok(out) => cost += out.cpu,
-                    Err(_) => {
-                        // Message queue overload: drop the request.
-                        self.gen.remove(tid.0);
-                        self.threads.remove(&tid.0);
-                        self.outstanding -= 1;
-                        self.dropped += 1;
-                        return;
-                    }
-                }
-            }
+        let (mut cost, delivered) = self.shards[si].rt.host_send(now, &mut self.ic, msg);
+        if !delivered {
+            // Message queue overload: drop the request.
+            self.gen.remove(tid.0);
+            self.threads.remove(&tid.0);
+            self.outstanding -= 1;
+            self.dropped += 1;
+            return;
         }
-        cost += self.msg_q.flush(now + cost, &mut self.ic);
+        cost += self.shards[si].rt.host_flush(now + cost, &mut self.ic);
         let visible = now + cost + self.ic.one_way();
-        self.schedule_agent_pump(sim, visible);
+        self.schedule_agent_pump(sim, si, visible);
     }
 
     // --- Agent ------------------------------------------------------------
 
-    fn schedule_agent_pump(&mut self, sim: &mut S, at: SimTime) {
-        if self.agent_pump_scheduled {
-            return;
+    fn schedule_agent_pump(&mut self, sim: &mut S, si: usize, at: SimTime) {
+        if let Some(t) = self.shards[si].rt.arm_pump(at) {
+            sim.schedule(t, move |m: &mut SchedSim, s| {
+                m.shards[si].rt.pump_fired();
+                m.agent_pump(s, si);
+            });
         }
-        self.agent_pump_scheduled = true;
-        let t = at.max(self.agent.busy_until()) + SimTime::from_ns(self.cfg.cost.agent_pickup_ns);
-        sim.schedule(t, |m: &mut SchedSim, s| {
-            m.agent_pump_scheduled = false;
-            m.agent_pump(s);
-        });
     }
 
-    /// One agent duty cycle: drain visible messages, update the policy,
-    /// serve waiting cores (stage + MSI-X), then prestage.
-    fn agent_pump(&mut self, sim: &mut S) {
-        if !self.agent.is_running() {
+    /// One agent duty cycle for shard `si`: drain visible messages,
+    /// update the policy, serve waiting cores (stage + MSI-X), then
+    /// prestage.
+    fn agent_pump(&mut self, sim: &mut S, si: usize) {
+        if !self.shards[si].rt.is_running() {
             return;
         }
         self.diag.pumps += 1;
-        let now = sim.now().max(self.agent.busy_until());
-        let polled = self.msg_q.poll_nic(now, &mut self.ic, 64);
+        let now = sim.now().max(self.shards[si].rt.busy_until());
+        let polled = self.shards[si].rt.poll(now, &mut self.ic, 64);
         let mut nic_cost = polled.cpu;
         let policy_ratio = self
             .cfg
@@ -507,7 +662,10 @@ impl SchedSim {
             // cheap enqueue/remove; the full policy pick cost is paid at
             // staging time in `stage_pick`.
             nic_cost += self.ic.soc.access(self.cfg.opts.soc_pte(), 8);
-            nic_cost += self.policy.compute_cost().scale(policy_ratio * 0.5);
+            nic_cost += self.shards[si]
+                .policy
+                .compute_cost()
+                .scale(policy_ratio * 0.5);
             let meta = self
                 .threads
                 .get(&msg.tid.0)
@@ -517,16 +675,17 @@ impl SchedSim {
                 })
                 .unwrap_or_else(|| ThreadMeta::at(now));
             if msg.makes_runnable() {
-                self.policy.on_runnable(now, msg.tid, meta);
+                self.shards[si].policy.on_runnable(now, msg.tid, meta);
             } else if msg.removes_thread() {
-                self.policy.on_removed(now, msg.tid);
+                self.shards[si].policy.on_removed(now, msg.tid);
             }
             if let Some(cpu) = msg.cpu {
                 if msg.removes_thread() || matches!(msg.kind, SchedMsgKind::Yield) {
-                    // That core went idle; remember if nothing is staged.
+                    // The core parked when it sent this message; seeing
+                    // it (re-)arms the agent's wakeup obligation unless
+                    // the core found work again in the meantime.
                     if let CoreState::Idle { waiting } = &mut self.cores[cpu.0 as usize] {
                         *waiting = true;
-                        let _ = waiting;
                     }
                 }
             }
@@ -534,14 +693,20 @@ impl SchedSim {
 
         // Serve idle, waiting cores first: stage + MSI-X.
         let mut kicked = Vec::new();
-        for c in 0..self.cores.len() {
-            let cpu = CpuId(c as u32);
-            if !matches!(self.cores[c], CoreState::Idle { waiting: true }) {
+        for c in self.shard_cores(si) {
+            let cpu = CpuId(c);
+            if !matches!(self.cores[c as usize], CoreState::Idle { waiting: true }) {
                 continue;
             }
             // If a decision is already staged (host missed it earlier),
-            // re-kick; otherwise try to stage a fresh pick.
-            let have = self.slots.is_staged(cpu) || self.stage_pick(now, cpu, &mut nic_cost);
+            // re-kick; otherwise try to stage a fresh pick — from this
+            // shard's queue, then (optionally, and only once the local
+            // queue is truly empty) stolen from a sibling.
+            let have = self.shards[si].rt.slots_ref().is_staged(self.local_slot(cpu))
+                || self.stage_pick(now, si, cpu, &mut nic_cost)
+                || (self.cfg.steal
+                    && self.shards[si].policy.queue_depth() == 0
+                    && self.steal_pick(now, si, cpu, &mut nic_cost));
             if have {
                 let d = self.ic.msix.send(
                     now + nic_cost,
@@ -554,69 +719,130 @@ impl SchedSim {
                     },
                 );
                 nic_cost += d.sender_cpu;
-                self.agent.record_decision(now + nic_cost);
+                self.shards[si].rt.record_decision(now + nic_cost);
                 kicked.push((cpu, d.handler_at));
-                self.cores[c] = CoreState::Idle { waiting: false };
+                self.cores[c as usize] = CoreState::Idle { waiting: false };
             }
         }
         for (cpu, at) in kicked {
             sim.schedule(at, move |m: &mut SchedSim, s| m.wakeup_irq(s, cpu));
         }
 
-        // Prestage one decision per busy core whose slot is empty (§5.4),
-        // if the policy wants it and queue depth warrants.
-        if self.cfg.opts.prestage && self.policy.wants_prestaging() {
-            for c in 0..self.cores.len() {
-                if self.policy.queue_depth() == 0 {
-                    break;
-                }
-                let cpu = CpuId(c as u32);
-                if matches!(self.cores[c], CoreState::Busy { .. })
-                    && !self.slots.is_staged(cpu)
-                    && self.stage_pick(now, cpu, &mut nic_cost)
-                {
-                    self.agent.record_decision(now + nic_cost);
-                }
-            }
+        // Prestage one decision per busy core whose slot is empty (§5.4).
+        // The runtime consults the policy's wants_prestaging/backlog and
+        // walks the candidate slots in core order; the guard here only
+        // skips the candidate scan when prestaging could stage nothing.
+        if self.cfg.opts.prestage
+            && self.shards[si].policy.wants_prestaging()
+            && self.shards[si].policy.queue_depth() > 0
+        {
+            let mut candidates = std::mem::take(&mut self.prestage_scratch);
+            candidates.clear();
+            candidates.extend(
+                self.shard_cores(si)
+                    .filter(|&c| matches!(self.cores[c as usize], CoreState::Busy { .. }))
+                    .map(|c| self.local_slot(CpuId(c))),
+            );
+            let stage_cost = self.stage_cost();
+            let shard = &mut self.shards[si];
+            let mut producer = PickProducer {
+                policy: shard.policy.as_mut(),
+                gen: &self.gen,
+                next_txn: &mut self.next_txn,
+            };
+            shard.rt.prestage_with(
+                now,
+                &mut self.ic,
+                &mut producer,
+                candidates.iter().copied(),
+                stage_cost,
+                &mut nic_cost,
+            );
+            self.prestage_scratch = candidates;
         }
 
-        self.agent.run_raw(now, nic_cost);
+        self.shards[si].rt.run_raw(now, nic_cost);
         // If entries remain (a bigger batch, or pushed-but-not-yet-
         // visible messages), pump again when they can be seen.
-        if let Some(next) = self.msg_q.next_visible_at() {
-            let at = next.max(self.agent.busy_until());
-            self.schedule_agent_pump(sim, at);
+        if let Some(next) = self.shards[si].rt.next_visible_at() {
+            let at = next.max(self.shards[si].rt.busy_until());
+            self.schedule_agent_pump(sim, si, at);
         }
     }
 
-    /// Dequeues a thread from the policy and stages it for `cpu`.
-    /// Returns whether a decision was staged; accumulates agent cost.
-    fn stage_pick(&mut self, now: SimTime, cpu: CpuId, nic_cost: &mut SimTime) -> bool {
-        let ratio = self
-            .cfg
-            .cpu
-            .ratio(self.agent_core, WorkloadClass::ComputeBound);
-        *nic_cost += self.policy.compute_cost().scale(ratio);
-        // Scenario-specific extra (e.g. OnHost-Schedule reading RPC
-        // headers over PCIe before it can place the request).
-        *nic_cost += self.cfg.agent_decision_extra;
-        let Some(tid) = self.policy.pick_next(now) else {
+    /// Dequeues a thread from shard `si`'s policy and stages it for
+    /// `cpu`. Returns whether a decision was staged; accumulates agent
+    /// cost.
+    /// Pick-cost parameters shared by local picks and steals: the
+    /// agent-core scaling plus any scenario-specific extra (e.g.
+    /// OnHost-Schedule reading RPC headers over PCIe before it can place
+    /// the request).
+    fn stage_cost(&self) -> StageCost {
+        StageCost {
+            ratio: self
+                .cfg
+                .cpu
+                .ratio(self.agent_core, WorkloadClass::ComputeBound),
+            extra: self.cfg.agent_decision_extra,
+        }
+    }
+
+    fn stage_pick(&mut self, now: SimTime, si: usize, cpu: CpuId, nic_cost: &mut SimTime) -> bool {
+        let stage_cost = self.stage_cost();
+        let slot = self.local_slot(cpu);
+        let shard = &mut self.shards[si];
+        let mut producer = PickProducer {
+            policy: shard.policy.as_mut(),
+            gen: &self.gen,
+            next_txn: &mut self.next_txn,
+        };
+        shard
+            .rt
+            .stage_with(now, &mut self.ic, &mut producer, slot, stage_cost, nic_cost)
+    }
+
+    /// Steal hook: shard `si` has an idle core and an empty run queue;
+    /// pull the next pick from the sibling with the deepest backlog and
+    /// stage it locally. The thief pays the pick cost (the victim's
+    /// run queue lives in shared SmartNIC memory).
+    fn steal_pick(&mut self, now: SimTime, si: usize, cpu: CpuId, nic_cost: &mut SimTime) -> bool {
+        if self.shards.len() < 2 {
+            return false;
+        }
+        let mut victim: Option<(usize, usize)> = None;
+        for (j, sh) in self.shards.iter().enumerate() {
+            let depth = sh.policy.queue_depth();
+            if j == si || depth == 0 {
+                continue;
+            }
+            if victim.is_none_or(|(_, d)| depth > d) {
+                victim = Some((j, depth));
+            }
+        }
+        let Some((vi, _)) = victim else {
             return false;
         };
-        let Some(target) = self.gen.snapshot(tid.0) else {
-            // Thread vanished between message and pick; drop it.
-            return false;
+        let stage_cost = self.stage_cost();
+        let slot = self.local_slot(cpu);
+        // Split-borrow the thief's runtime and the victim's policy.
+        let (lo, hi) = self.shards.split_at_mut(si.max(vi));
+        let (thief, victim_policy) = if si < vi {
+            (&mut lo[si], &mut hi[0].policy)
+        } else {
+            (&mut hi[0], &mut lo[vi].policy)
         };
-        let txn = TxnId(self.next_txn);
-        self.next_txn += 1;
-        let d = SlotDecision {
-            txn,
-            tid,
-            target,
-            preempt: false,
+        let mut producer = PickProducer {
+            policy: victim_policy.as_mut(),
+            gen: &self.gen,
+            next_txn: &mut self.next_txn,
         };
-        *nic_cost += self.slots.agent_stage(now + *nic_cost, &mut self.ic, cpu, d);
-        true
+        let staged = thief
+            .rt
+            .stage_with(now, &mut self.ic, &mut producer, slot, stage_cost, nic_cost);
+        if staged {
+            self.diag.steals += 1;
+        }
+        staged
     }
 
     // --- Host side ---------------------------------------------------------
@@ -628,10 +854,15 @@ impl SchedSim {
         if !matches!(self.cores[cpu.0 as usize], CoreState::Idle { .. }) {
             return; // Core got work through another path meanwhile.
         }
+        let si = self.shard_of(cpu);
+        let slot = self.local_slot(cpu);
         let mut cost = SimTime::ZERO;
         // §5.3.2: flush the stale view, then read.
-        cost += self.slots.host_invalidate(now, &mut self.ic, cpu);
-        let (c, got) = self.slots.host_consume(now + cost, &mut self.ic, cpu);
+        cost += self.shards[si].rt.slots().host_invalidate(now, &mut self.ic, slot);
+        let (c, got) = self.shards[si]
+            .rt
+            .slots()
+            .host_consume(now + cost, &mut self.ic, slot);
         cost += c;
         match got {
             Some(d) => {
@@ -642,7 +873,7 @@ impl SchedSim {
                 // Spurious kick (e.g. decision revoked). Stay waiting.
                 self.diag.wakeup_miss += 1;
                 self.cores[cpu.0 as usize] = CoreState::Idle { waiting: true };
-                self.schedule_agent_pump(sim, now + cost + self.ic.one_way());
+                self.schedule_agent_pump(sim, si, now + cost + self.ic.one_way());
             }
         }
     }
@@ -660,7 +891,8 @@ impl SchedSim {
             // Failed transaction: clean failure, core keeps waiting.
             self.diag.commit_fail += 1;
             self.cores[cpu.0 as usize] = CoreState::Idle { waiting: true };
-            self.schedule_agent_pump(sim, at + cost + self.ic.one_way());
+            let si = self.shard_of(cpu);
+            self.schedule_agent_pump(sim, si, at + cost + self.ic.one_way());
             return;
         }
         cost += self.cfg.cost.kernel_switch();
@@ -677,7 +909,8 @@ impl SchedSim {
     /// either completion or an agent-side preemption check.
     fn begin_segment(&mut self, sim: &mut S, cpu: CpuId, tid: Tid, token: u64, start: SimTime) {
         let remaining = self.threads[&tid.0].remaining;
-        match self.policy.time_slice() {
+        let slice = self.shards[self.shard_of(cpu)].policy.time_slice();
+        match slice {
             Some(slice) if remaining > slice => {
                 // The agent tracks the slice and will preempt via MSI-X.
                 let at = start + slice;
@@ -707,13 +940,14 @@ impl SchedSim {
         {
             return; // Stale timer.
         }
-        if !self.agent.is_running() {
+        let si = self.shard_of(cpu);
+        if !self.shards[si].rt.is_running() {
             return;
         }
-        let now = sim.now().max(self.agent.busy_until());
+        let now = sim.now().max(self.shards[si].rt.busy_until());
         let mut nic_cost = SimTime::ZERO;
         // Pick the replacement (if any) and stage it.
-        let staged = self.stage_pick(now, cpu, &mut nic_cost);
+        let staged = self.stage_pick(now, si, cpu, &mut nic_cost);
         if staged {
             self.diag.preempt_staged += 1;
         } else {
@@ -730,7 +964,10 @@ impl SchedSim {
                 target,
                 preempt: false,
             };
-            nic_cost += self.slots.agent_stage(now + nic_cost, &mut self.ic, cpu, d);
+            let slot = self.local_slot(cpu);
+            nic_cost += self.shards[si]
+                .rt
+                .stage_raw(now + nic_cost, &mut self.ic, slot, d);
         }
         let d = self.ic.msix.send(
             now + nic_cost,
@@ -743,8 +980,8 @@ impl SchedSim {
             },
         );
         nic_cost += d.sender_cpu;
-        self.agent.record_decision(now + nic_cost);
-        self.agent.run_raw(now, nic_cost);
+        self.shards[si].rt.record_decision(now + nic_cost);
+        self.shards[si].rt.run_raw(now, nic_cost);
         let at = d.handler_at;
         sim.schedule(at, move |m: &mut SchedSim, s| {
             m.preempt_irq(s, cpu, tid, token, seg_start)
@@ -759,14 +996,19 @@ impl SchedSim {
         {
             return;
         }
+        let si = self.shard_of(cpu);
+        let slot = self.local_slot(cpu);
         // The kernel charges the preempted thread for its runtime.
         let ran = now.saturating_sub(seg_start);
         let rem = self.threads[&tid.0].remaining.saturating_sub(ran);
         let mut cost = SimTime::ZERO;
         // Read the staged replacement: flush + fresh read (no prefetch
         // benefit on this path, §7.2.2).
-        cost += self.slots.host_invalidate(now, &mut self.ic, cpu);
-        let (c, got) = self.slots.host_consume(now + cost, &mut self.ic, cpu);
+        cost += self.shards[si].rt.slots().host_invalidate(now, &mut self.ic, slot);
+        let (c, got) = self.shards[si]
+            .rt
+            .slots()
+            .host_consume(now + cost, &mut self.ic, slot);
         cost += c;
         let Some(d) = got else {
             // Replacement vanished: keep running the current thread.
@@ -781,7 +1023,7 @@ impl SchedSim {
             if rem == SimTime::ZERO {
                 self.finish_thread(sim, tid, now);
                 self.cores[cpu.0 as usize] = CoreState::Idle { waiting: true };
-                self.schedule_agent_pump(sim, now + cost + self.ic.one_way());
+                self.schedule_agent_pump(sim, si, now + cost + self.ic.one_way());
                 return;
             }
             if let Some(t) = self.threads.get_mut(&tid.0) {
@@ -803,10 +1045,10 @@ impl SchedSim {
             // Tell the agent the thread is runnable again.
             cost += self.cfg.cost.kernel_event();
             let msg = SchedMsg::new(tid, SchedMsgKind::Preempted, Some(cpu));
-            if let Ok(out) = self.msg_q.push(now + cost, &mut self.ic, msg) {
-                cost += out.cpu;
-                cost += self.msg_q.flush(now + cost, &mut self.ic);
-                self.schedule_agent_pump(sim, now + cost + self.ic.one_way());
+            if let Some(c) = self.shards[si].rt.host_try_send(now + cost, &mut self.ic, msg) {
+                cost += c;
+                cost += self.shards[si].rt.host_flush(now + cost, &mut self.ic);
+                self.schedule_agent_pump(sim, si, now + cost + self.ic.one_way());
             }
         }
         self.try_commit(sim, cpu, d, now + cost);
@@ -837,41 +1079,39 @@ impl SchedSim {
         }
         self.finish_thread(sim, tid, now);
 
+        let si = self.shard_of(cpu);
+        let slot = self.local_slot(cpu);
         let mut cost = SimTime::ZERO;
         // §5.4 ordering: prefetch first, then kernel bookkeeping + the
         // blocked/dead message — that ~1 µs of useful work hides the
         // prefetch fill.
         if self.cfg.opts.prefetch {
-            cost += self.slots.host_prefetch(now, &mut self.ic, cpu);
+            cost += self.shards[si].rt.slots().host_prefetch(now, &mut self.ic, slot);
         }
         cost += self.cfg.cost.kernel_event();
         let msg = SchedMsg::new(tid, SchedMsgKind::Dead, Some(cpu));
-        match self.msg_q.push(now + cost, &mut self.ic, msg) {
-            Ok(out) => cost += out.cpu,
-            Err(rej) => {
-                cost += self.msg_q.sync_credits(now + cost, &mut self.ic);
-                if let Ok(out) = self.msg_q.push(now + cost, &mut self.ic, rej.payload) {
-                    cost += out.cpu;
-                }
-            }
-        }
-        cost += self.msg_q.flush(now + cost, &mut self.ic);
+        let (c, _delivered) = self.shards[si].rt.host_send(now + cost, &mut self.ic, msg);
+        cost += c;
+        cost += self.shards[si].rt.host_flush(now + cost, &mut self.ic);
         let msg_visible = now + cost + self.ic.one_way();
 
         // Prestaged fast path: read the slot.
-        let (c, got) = self.slots.host_consume(now + cost, &mut self.ic, cpu);
+        let (c, got) = self.shards[si]
+            .rt
+            .slots()
+            .host_consume(now + cost, &mut self.ic, slot);
         cost += c;
         match got {
             Some(d) => {
                 self.diag.complete_hit += 1;
                 self.cores[cpu.0 as usize] = CoreState::Idle { waiting: false };
-                self.schedule_agent_pump(sim, msg_visible);
+                self.schedule_agent_pump(sim, si, msg_visible);
                 self.try_commit(sim, cpu, d, now + cost);
             }
             None => {
                 self.diag.complete_miss += 1;
                 self.cores[cpu.0 as usize] = CoreState::Idle { waiting: true };
-                self.schedule_agent_pump(sim, msg_visible);
+                self.schedule_agent_pump(sim, si, msg_visible);
             }
         }
     }
@@ -1003,5 +1243,102 @@ mod tests {
         cfg.max_outstanding = 500;
         let report = SchedSim::new(cfg, Box::new(FifoPolicy::new())).run();
         assert!(report.dropped > 0);
+    }
+
+    // --- Sharding ----------------------------------------------------------
+
+    fn sharded_cfg(workers: u32, agents: u32, offered: f64) -> SchedConfig {
+        let mut cfg = SchedConfig::new(workers, Placement::Offloaded, OptLevel::full());
+        cfg.agents = agents;
+        cfg.offered = offered;
+        cfg.duration = SimTime::from_ms(150);
+        cfg.warmup = SimTime::from_ms(20);
+        cfg
+    }
+
+    #[test]
+    fn sharded_agents_serve_all_cores() {
+        let report = SchedSim::with_policy_factory(sharded_cfg(8, 4, 100_000.0), |_| {
+            Box::new(FifoPolicy::new())
+        })
+        .run();
+        assert!(report.completed > 10_000, "completed {}", report.completed);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.per_agent_decisions.len(), 4);
+        for (i, d) in report.per_agent_decisions.iter().enumerate() {
+            assert!(*d > 0, "shard {i} made no decisions");
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_deterministic() {
+        let run = || {
+            SchedSim::with_policy_factory(sharded_cfg(8, 4, 200_000.0), |_| {
+                Box::new(FifoPolicy::new())
+            })
+            .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.latency.p99, b.latency.p99);
+        assert_eq!(a.msix_sent, b.msix_sent);
+        assert_eq!(a.per_agent_decisions, b.per_agent_decisions);
+    }
+
+    #[test]
+    fn uneven_worker_split_covers_every_core() {
+        // 10 cores over 4 shards: slices of 2/3/2/3.
+        let report = SchedSim::with_policy_factory(sharded_cfg(10, 4, 150_000.0), |_| {
+            Box::new(FifoPolicy::new())
+        })
+        .run();
+        assert!(report.completed > 15_000);
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn steal_rebalances_idle_shards() {
+        // Bimodal mix: a 10 ms RANGE clogs one shard's cores while its
+        // siblings idle — stealing should kick in.
+        let mut cfg = sharded_cfg(4, 2, 60_000.0);
+        cfg.mix = ServiceMix::paper_bimodal();
+        cfg.steal = true;
+        let stealing =
+            SchedSim::with_policy_factory(cfg.clone(), |_| Box::new(FifoPolicy::new())).run();
+        assert!(stealing.diag.steals > 0, "no steals at {:?}", stealing.diag);
+        let mut no_steal_cfg = cfg;
+        no_steal_cfg.steal = false;
+        let fixed =
+            SchedSim::with_policy_factory(no_steal_cfg, |_| Box::new(FifoPolicy::new())).run();
+        assert_eq!(fixed.diag.steals, 0);
+        // Work conservation must not hurt completion count.
+        assert!(
+            stealing.completed * 100 >= fixed.completed * 99,
+            "steal {} vs fixed {}",
+            stealing.completed,
+            fixed.completed
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "use with_policy_factory")]
+    fn new_rejects_multi_agent_config() {
+        let cfg = sharded_cfg(8, 2, 10_000.0);
+        let _ = SchedSim::new(cfg, Box::new(FifoPolicy::new()));
+    }
+
+    #[test]
+    fn mix_sampling_matches_weights() {
+        let mix = ServiceMix::paper_bimodal();
+        let mut rng = wave_sim::rng(7);
+        let mut long = 0u32;
+        for _ in 0..200_000 {
+            let (svc, _) = mix.sample(&mut rng);
+            if svc >= SimTime::from_ms(10) {
+                long += 1;
+            }
+        }
+        // 0.5% of 200k = 1000 expected RANGEs; allow wide slack.
+        assert!((600..1_400).contains(&long), "long {long}");
     }
 }

@@ -1,28 +1,22 @@
 //! Per-core decision slots (the paper's Fig. 2 per-core decision queues).
 //!
-//! The Wave scheduler prestages **one decision per core** so the host can
-//! pick it up without a PCIe round trip (§5.4). Each core owns one slot
-//! (a cache line) in SmartNIC DRAM:
+//! The slot mechanics — staging, staleness, prefetch, the software
+//! coherence protocol — live in the reusable
+//! [`wave_core::runtime::SlotTable`]; this module specializes the table
+//! to scheduling decisions. See the runtime module docs for the full
+//! protocol; in short: the agent stages **one decision per core** so the
+//! host can pick it up without a PCIe round trip (§5.4), and every
+//! staleness hazard (stage racing a prefetch snapshot, stale cached
+//! lines hiding fresh decisions) is modeled.
 //!
-//! * the **agent** stages a decision into the slot (cheap local store,
-//!   which makes any host-cached copy of the line stale);
-//! * the **host**, on an idle transition, prefetches the line, does its
-//!   kernel bookkeeping (hiding the fill latency), then reads the slot —
-//!   a cache hit if the protocol worked;
-//! * after consuming, the host flushes the line (`clflush`) so the next
-//!   prefetch refetches fresh data, and posts a consumed flag the agent
-//!   observes locally.
-//!
-//! All the staleness hazards are real: if the agent stages *after* the
-//! host's prefetch snapshot, the host misses the decision and falls back
-//! to the idle/MSI-X path — the "prestages may fail" variability the
-//! paper notes under Table 3.
+//! Worker core `c` maps to [`SlotId`](wave_core::runtime::SlotId)`(c)`
+//! in a single-agent deployment; sharded deployments (see [`crate::sim`])
+//! give each agent its own table indexed by shard-local slot ids.
 
+use wave_core::runtime::SlotTable;
 use wave_core::txn::{ResourceRef, TxnId};
-use wave_pcie::{Interconnect, LineAddr, PteType, RegionId, SocPteMode};
-use wave_sim::SimTime;
 
-use crate::msg::{CpuId, Tid};
+use crate::msg::Tid;
 
 /// A staged scheduling decision.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,162 +31,16 @@ pub struct SlotDecision {
     pub preempt: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Staged {
-    decision: SlotDecision,
-    /// When the slot contents reach SmartNIC DRAM.
-    visible_at: SimTime,
-}
-
 /// One decision slot per worker core, in SmartNIC DRAM.
-#[derive(Debug)]
-pub struct DecisionSlots {
-    region: RegionId,
-    words: u64,
-    nic_pte: SocPteMode,
-    slots: Vec<Option<Staged>>,
-    /// Count of host reads that found a fresh, visible decision.
-    hits: u64,
-    /// Count of host reads that found nothing (empty, invisible, or
-    /// stale-hidden).
-    misses: u64,
-}
-
-impl DecisionSlots {
-    /// Maps one slot (one line) per core with the given host PTE type.
-    pub fn new(
-        ic: &mut Interconnect,
-        cores: u32,
-        words: u64,
-        host_pte: PteType,
-        nic_pte: SocPteMode,
-    ) -> Self {
-        assert!(cores > 0, "need at least one core");
-        let region = ic.mmio.map_region(host_pte, cores as u64);
-        DecisionSlots {
-            region,
-            words,
-            nic_pte,
-            slots: vec![None; cores as usize],
-            hits: 0,
-            misses: 0,
-        }
-    }
-
-    fn line(&self, cpu: CpuId) -> LineAddr {
-        LineAddr::new(self.region, cpu.0 as u64)
-    }
-
-    /// Number of cores with a currently staged (agent-side view)
-    /// decision.
-    pub fn staged_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
-    }
-
-    /// Whether the agent has a decision staged for `cpu`.
-    pub fn is_staged(&self, cpu: CpuId) -> bool {
-        self.slots[cpu.0 as usize].is_some()
-    }
-
-    /// Host-read hit/miss counters (prestage effectiveness telemetry).
-    pub fn hit_miss(&self) -> (u64, u64) {
-        (self.hits, self.misses)
-    }
-
-    /// Agent stages (or replaces) a decision for `cpu`. Returns the agent
-    /// CPU cost. The host's cached view of the slot line becomes stale.
-    pub fn agent_stage(
-        &mut self,
-        now: SimTime,
-        ic: &mut Interconnect,
-        cpu: CpuId,
-        decision: SlotDecision,
-    ) -> SimTime {
-        // The agent writes the payload words plus the valid flag and a
-        // txn seal word: a full line for the default 6-word decision
-        // (this is the 8-word write behind the paper's 1013/426 ns
-        // open-decision anchors).
-        let cost = ic.soc.access(self.nic_pte, self.words + 2);
-        let visible_at = now + cost;
-        ic.mmio.note_device_write(self.line(cpu), visible_at);
-        self.slots[cpu.0 as usize] = Some(Staged {
-            decision,
-            visible_at,
-        });
-        cost
-    }
-
-    /// Agent revokes a staged decision (e.g. the thread died before the
-    /// host consumed it). Returns the agent CPU cost.
-    pub fn agent_revoke(&mut self, now: SimTime, ic: &mut Interconnect, cpu: CpuId) -> SimTime {
-        let cost = ic.soc.access(self.nic_pte, 1);
-        let visible_at = now + cost;
-        ic.mmio.note_device_write(self.line(cpu), visible_at);
-        self.slots[cpu.0 as usize] = None;
-        cost
-    }
-
-    /// Host prefetches `cpu`'s slot line (§5.4). Tiny CPU cost; the fill
-    /// runs in the background.
-    pub fn host_prefetch(&mut self, now: SimTime, ic: &mut Interconnect, cpu: CpuId) -> SimTime {
-        ic.mmio.prefetch(now, self.line(cpu))
-    }
-
-    /// Host flushes its cached view of `cpu`'s slot (`clflush`) — run
-    /// from the MSI-X handler before reading a freshly-announced
-    /// decision.
-    pub fn host_invalidate(&mut self, now: SimTime, ic: &mut Interconnect, cpu: CpuId) -> SimTime {
-        ic.mmio.clflush(now, self.line(cpu))
-    }
-
-    /// Host reads and (if present) consumes `cpu`'s staged decision.
-    ///
-    /// Reads `decision_words` 64-bit words through the MMIO model, so the
-    /// cost depends on PTE type, cache state, and prefetch timing. The
-    /// decision is returned only if its contents were visible *in the
-    /// snapshot the read observed* — a stale cached line hides fresh
-    /// decisions, exactly as on hardware.
-    ///
-    /// On success the host also pays one posted write (consumed flag) and
-    /// one `clflush` (so the next prefetch refetches), and the slot
-    /// empties.
-    pub fn host_consume(
-        &mut self,
-        now: SimTime,
-        ic: &mut Interconnect,
-        cpu: CpuId,
-    ) -> (SimTime, Option<SlotDecision>) {
-        let line = self.line(cpu);
-        // Read the flag word; further words hit the same line.
-        let first = ic.mmio.read(now, line);
-        let mut cpu_cost = first.cpu;
-        let staged = self.slots[cpu.0 as usize];
-        let visible = match staged {
-            Some(s) => s.visible_at <= first.snapshot_at,
-            None => false,
-        };
-        if !visible {
-            self.misses += 1;
-            return (cpu_cost, None);
-        }
-        for _ in 1..self.words {
-            cpu_cost += ic.mmio.read(now + cpu_cost, line).cpu;
-        }
-        self.hits += 1;
-        let decision = staged.expect("checked visible").decision;
-        self.slots[cpu.0 as usize] = None;
-        // Consumed flag: posted write the agent observes locally.
-        cpu_cost += ic.mmio.write(now + cpu_cost, line, 1).cpu;
-        // Drop our cached copy so the next prefetch refetches.
-        cpu_cost += ic.mmio.clflush(now + cpu_cost, line);
-        (cpu_cost, Some(decision))
-    }
-}
+pub type DecisionSlots = SlotTable<SlotDecision>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wave_core::runtime::SlotId;
     use wave_core::txn::ResourceRef;
+    use wave_pcie::{Interconnect, PteType, SocPteMode};
+    use wave_sim::SimTime;
 
     fn slots(ic: &mut Interconnect, pte: PteType) -> DecisionSlots {
         DecisionSlots::new(ic, 4, 6, pte, SocPteMode::WriteBack)
@@ -214,22 +62,22 @@ mod tests {
     fn stage_then_consume_uncached() {
         let mut ic = Interconnect::pcie();
         let mut s = slots(&mut ic, PteType::Uncacheable);
-        s.agent_stage(SimTime::ZERO, &mut ic, CpuId(0), decision(7));
-        let (cost, got) = s.host_consume(SimTime::from_us(2), &mut ic, CpuId(0));
+        s.stage(SimTime::ZERO, &mut ic, SlotId(0), decision(7));
+        let (cost, got) = s.host_consume(SimTime::from_us(2), &mut ic, SlotId(0));
         assert_eq!(got.unwrap().tid, Tid(7));
         // 6 uncached word reads + consumed-flag write.
         assert!(cost >= SimTime::from_ns(6 * 750 + 50), "cost {cost}");
-        assert!(!s.is_staged(CpuId(0)));
+        assert!(!s.is_staged(SlotId(0)));
     }
 
     #[test]
     fn prefetch_then_consume_is_cheap_and_fresh() {
         let mut ic = Interconnect::pcie();
         let mut s = slots(&mut ic, PteType::WriteThrough);
-        s.agent_stage(SimTime::ZERO, &mut ic, CpuId(1), decision(9));
+        s.stage(SimTime::ZERO, &mut ic, SlotId(1), decision(9));
         // Host prefetches at 2 us; fill completes by 2.75 us.
-        s.host_prefetch(SimTime::from_us(2), &mut ic, CpuId(1));
-        let (cost, got) = s.host_consume(SimTime::from_us(4), &mut ic, CpuId(1));
+        s.host_prefetch(SimTime::from_us(2), &mut ic, SlotId(1));
+        let (cost, got) = s.host_consume(SimTime::from_us(4), &mut ic, SlotId(1));
         assert_eq!(got.unwrap().tid, Tid(9));
         assert!(cost < SimTime::from_ns(120), "prefetched consume {cost}");
     }
@@ -239,16 +87,16 @@ mod tests {
         let mut ic = Interconnect::pcie();
         let mut s = slots(&mut ic, PteType::WriteThrough);
         // Host caches the empty slot.
-        let (_c, none) = s.host_consume(SimTime::ZERO, &mut ic, CpuId(2));
+        let (_c, none) = s.host_consume(SimTime::ZERO, &mut ic, SlotId(2));
         assert!(none.is_none());
         // Agent stages afterwards.
-        s.agent_stage(SimTime::from_us(1), &mut ic, CpuId(2), decision(5));
+        s.stage(SimTime::from_us(1), &mut ic, SlotId(2), decision(5));
         // Host re-reads: stale snapshot hides it.
-        let (_c, hidden) = s.host_consume(SimTime::from_us(2), &mut ic, CpuId(2));
+        let (_c, hidden) = s.host_consume(SimTime::from_us(2), &mut ic, SlotId(2));
         assert!(hidden.is_none(), "stale line must hide the decision");
         // MSI-X handler protocol: clflush, then read.
-        s.host_invalidate(SimTime::from_us(3), &mut ic, CpuId(2));
-        let (_c, got) = s.host_consume(SimTime::from_us(4), &mut ic, CpuId(2));
+        s.host_invalidate(SimTime::from_us(3), &mut ic, SlotId(2));
+        let (_c, got) = s.host_consume(SimTime::from_us(4), &mut ic, SlotId(2));
         assert_eq!(got.unwrap().tid, Tid(5));
         let (hits, misses) = s.hit_miss();
         assert_eq!((hits, misses), (1, 2));
@@ -259,21 +107,21 @@ mod tests {
         let mut ic = Interconnect::pcie();
         let mut s = slots(&mut ic, PteType::WriteThrough);
         // Prefetch snapshot taken before the stage: decision invisible.
-        s.host_prefetch(SimTime::ZERO, &mut ic, CpuId(0));
-        s.agent_stage(SimTime::from_ns(500), &mut ic, CpuId(0), decision(3));
-        let (_c, got) = s.host_consume(SimTime::from_us(1), &mut ic, CpuId(0));
+        s.host_prefetch(SimTime::ZERO, &mut ic, SlotId(0));
+        s.stage(SimTime::from_ns(500), &mut ic, SlotId(0), decision(3));
+        let (_c, got) = s.host_consume(SimTime::from_us(1), &mut ic, SlotId(0));
         assert!(got.is_none(), "prestage raced the prefetch; host must miss");
-        assert!(s.is_staged(CpuId(0)), "decision stays staged for the MSI-X path");
+        assert!(s.is_staged(SlotId(0)), "decision stays staged for the MSI-X path");
     }
 
     #[test]
     fn revoke_clears_slot() {
         let mut ic = Interconnect::pcie();
         let mut s = slots(&mut ic, PteType::Uncacheable);
-        s.agent_stage(SimTime::ZERO, &mut ic, CpuId(3), decision(8));
-        assert!(s.is_staged(CpuId(3)));
-        s.agent_revoke(SimTime::from_us(1), &mut ic, CpuId(3));
-        let (_c, got) = s.host_consume(SimTime::from_us(2), &mut ic, CpuId(3));
+        s.stage(SimTime::ZERO, &mut ic, SlotId(3), decision(8));
+        assert!(s.is_staged(SlotId(3)));
+        s.revoke(SimTime::from_us(1), &mut ic, SlotId(3));
+        let (_c, got) = s.host_consume(SimTime::from_us(2), &mut ic, SlotId(3));
         assert!(got.is_none());
     }
 
@@ -281,11 +129,11 @@ mod tests {
     fn consume_after_consume_is_empty() {
         let mut ic = Interconnect::pcie();
         let mut s = slots(&mut ic, PteType::WriteThrough);
-        s.agent_stage(SimTime::ZERO, &mut ic, CpuId(0), decision(1));
-        s.host_invalidate(SimTime::from_us(1), &mut ic, CpuId(0));
-        let (_c, got) = s.host_consume(SimTime::from_us(2), &mut ic, CpuId(0));
+        s.stage(SimTime::ZERO, &mut ic, SlotId(0), decision(1));
+        s.host_invalidate(SimTime::from_us(1), &mut ic, SlotId(0));
+        let (_c, got) = s.host_consume(SimTime::from_us(2), &mut ic, SlotId(0));
         assert!(got.is_some());
-        let (_c, again) = s.host_consume(SimTime::from_us(3), &mut ic, CpuId(0));
+        let (_c, again) = s.host_consume(SimTime::from_us(3), &mut ic, SlotId(0));
         assert!(again.is_none());
     }
 }

@@ -1,9 +1,10 @@
 //! Regenerates every paper table and figure in one run (quick configs)
-//! and prints the paper-vs-measured reports.
+//! and prints the paper-vs-measured reports, plus the §6 agent-scaling
+//! sweep the paper only gestures at.
 //!
-//! Run with: `cargo run --release -p wave-lab --example fig4check`
+//! Run with: `cargo run --release -p wave-lab --example report_all`
 
-use wave_lab::{fig4, fig5, fig6, mem, table2, table3, upi};
+use wave_lab::{fig4, fig5, fig6, mem, scaling, table2, table3, upi};
 
 fn main() {
     let t0 = std::time::Instant::now();
@@ -18,5 +19,6 @@ fn main() {
     upi::report(&upi::UpiConfig::quick()).print();
     mem::duration_report().print();
     mem::footprint_report(&mem::FootprintExperiment::quick()).print();
+    scaling::report(&scaling::ScalingConfig::quick()).print();
     println!("\nall experiments regenerated in {:.1?}", t0.elapsed());
 }

@@ -155,12 +155,16 @@ pub fn run_point(cfg: &Fig4Config, scenario: Scenario, offered: f64) -> SchedRep
     SchedSim::new(sc, cfg.make_policy()).run()
 }
 
-/// Runs a latency-throughput curve over the given offered loads.
+/// Runs a latency-throughput curve over the given offered loads, one
+/// simulation thread per load point.
 pub fn run_curve(cfg: &Fig4Config, scenario: Scenario, loads: &[f64]) -> Curve {
     let mut curve = Curve::new(scenario.label());
-    for &offered in loads {
+    let points = crate::par::par_map(loads, |&offered| {
         let rep = run_point(cfg, scenario, offered);
-        curve.push(rep.achieved / 1_000.0, rep.latency.p99.as_us_f64());
+        (rep.achieved / 1_000.0, rep.latency.p99.as_us_f64())
+    });
+    for (x, y) in points {
+        curve.push(x, y);
     }
     curve
 }
@@ -225,27 +229,36 @@ impl Fig4Result {
     }
 }
 
-/// Runs the saturation comparison for a figure.
+/// Runs the saturation comparison for a figure, the three independent
+/// scenario searches in parallel.
 pub fn run(cfg: &Fig4Config) -> Fig4Result {
+    let sats = crate::par::par_map(
+        &[Scenario::OnHost16, Scenario::Wave15, Scenario::Wave16],
+        |&sc| saturation(cfg, sc),
+    );
     Fig4Result {
-        sat_onhost: saturation(cfg, Scenario::OnHost16),
-        sat_wave15: saturation(cfg, Scenario::Wave15),
-        sat_wave16: saturation(cfg, Scenario::Wave16),
+        sat_onhost: sats[0],
+        sat_wave15: sats[1],
+        sat_wave16: sats[2],
     }
 }
 
 /// The §7.2.2 ablation: Wave-16 FIFO saturation at each optimization
-/// rung. Returns `(label, saturation req/s)` in ladder order.
+/// rung (each rung an independent parallel search). Returns
+/// `(label, saturation req/s)` in ladder order.
 pub fn ablation(cfg: &Fig4Config) -> Vec<(&'static str, f64)> {
-    OptLevel::ablation_ladder()
+    let ladder = OptLevel::ablation_ladder();
+    let sats = crate::par::par_map(&ladder, |(_, opts)| {
+        let c = Fig4Config {
+            opts: *opts,
+            ..cfg.clone()
+        };
+        saturation(&c, Scenario::Wave16)
+    });
+    ladder
         .into_iter()
-        .map(|(label, opts)| {
-            let c = Fig4Config {
-                opts,
-                ..cfg.clone()
-            };
-            (label, saturation(&c, Scenario::Wave16))
-        })
+        .map(|(label, _)| label)
+        .zip(sats)
         .collect()
 }
 

@@ -81,12 +81,16 @@ pub fn run_point(cfg: &Fig6Config, scenario: Fig6Scenario, offered: f64) -> Sche
     SchedSim::new(sc, cfg.make_policy()).run()
 }
 
-/// Runs a latency-throughput curve.
+/// Runs a latency-throughput curve, one simulation thread per load
+/// point.
 pub fn run_curve(cfg: &Fig6Config, scenario: Fig6Scenario, loads: &[f64]) -> Curve {
     let mut curve = Curve::new(scenario.label());
-    for &offered in loads {
+    let points = crate::par::par_map(loads, |&offered| {
         let rep = run_point(cfg, scenario, offered);
-        curve.push(rep.achieved / 1_000.0, rep.latency.p99.as_us_f64());
+        (rep.achieved / 1_000.0, rep.latency.p99.as_us_f64())
+    });
+    for (x, y) in points {
+        curve.push(x, y);
     }
     curve
 }
@@ -154,13 +158,23 @@ impl Fig6Result {
     }
 }
 
-/// Runs the full scenario comparison.
+/// Runs the full scenario comparison, the four independent saturation
+/// searches in parallel.
 pub fn run(cfg: &Fig6Config) -> Fig6Result {
+    let sats = crate::par::par_map(
+        &[
+            Fig6Scenario::OnHostAll,
+            Fig6Scenario::OnHostSchedule,
+            Fig6Scenario::OffloadAll,
+            Fig6Scenario::OffloadAll15,
+        ],
+        |&sc| saturation(cfg, sc),
+    );
     Fig6Result {
-        onhost_all: saturation(cfg, Fig6Scenario::OnHostAll),
-        onhost_schedule: saturation(cfg, Fig6Scenario::OnHostSchedule),
-        offload_all: saturation(cfg, Fig6Scenario::OffloadAll),
-        offload_all_15: saturation(cfg, Fig6Scenario::OffloadAll15),
+        onhost_all: sats[0],
+        onhost_schedule: sats[1],
+        offload_all: sats[2],
+        offload_all_15: sats[3],
     }
 }
 

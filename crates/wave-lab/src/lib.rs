@@ -17,12 +17,18 @@
 //! | [`fig6`] | Fig. 6a/6b — RPC stack placement scenarios |
 //! | [`upi`] | §7.3.3 — coherent-interconnect emulation |
 //! | [`mem`] | §7.4 — SOL iteration durations & footprint reduction |
+//! | [`scaling`] | §6 scale-out — throughput vs SmartNIC agent count |
+//!
+//! Independent load points run in parallel on `std::thread` workers
+//! ([`par::par_map`]); each point is its own deterministic simulation.
 
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod mem;
+pub mod par;
 pub mod report;
+pub mod scaling;
 pub mod table2;
 pub mod table3;
 pub mod upi;

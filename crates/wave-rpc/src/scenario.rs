@@ -109,9 +109,19 @@ impl Fig6Scenario {
 
     /// Builds the full scheduling-simulation config for this scenario.
     pub fn sched_config(self, kind: SchedulerKind) -> SchedConfig {
+        self.sched_config_sharded(kind, 1)
+    }
+
+    /// Like [`Fig6Scenario::sched_config`], but sharding the scheduler
+    /// across `agents` SmartNIC cores (§6 scale-out). On-host scenarios
+    /// would burn one host core per extra agent, so multi-agent configs
+    /// are only meaningful for the offloaded scenarios; the config is
+    /// built either way and the caller decides.
+    pub fn sched_config_sharded(self, kind: SchedulerKind, agents: u32) -> SchedConfig {
         let pcie = PcieConfig::pcie();
         let stack = self.stack();
         let mut cfg = SchedConfig::new(self.workers(), self.scheduler_placement(), OptLevel::full());
+        cfg.agents = agents;
         cfg.mix = ServiceMix::paper_bimodal();
         cfg.duration = SimTime::from_ms(600);
         cfg.warmup = SimTime::from_ms(100);
@@ -172,6 +182,14 @@ mod tests {
             let cfg = sc.sched_config(SchedulerKind::SingleQueue);
             assert!(cfg.ingress.is_some());
             assert_eq!(cfg.workers, sc.workers());
+            assert_eq!(cfg.agents, 1);
         }
+    }
+
+    #[test]
+    fn sharded_config_sets_agent_count() {
+        let cfg = Fig6Scenario::OffloadAll.sched_config_sharded(SchedulerKind::SingleQueue, 4);
+        assert_eq!(cfg.agents, 4);
+        assert_eq!(cfg.workers, 16);
     }
 }

@@ -105,7 +105,7 @@ mod tests {
     fn rss_spreads_flows() {
         let mut rss = RssSteering::new();
         let busy = vec![false; 16];
-        let mut counts = vec![0u32; 16];
+        let mut counts = [0u32; 16];
         for flow in 0..16_000 {
             counts[rss.steer(&header(flow), &busy) as usize] += 1;
         }

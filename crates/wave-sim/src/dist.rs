@@ -298,12 +298,12 @@ mod tests {
     fn zipf_uniform_when_s_zero() {
         let mut rng = crate::rng(4);
         let d = Zipf::new(10, 0.0);
-        let mut counts = vec![0u32; 11];
+        let mut counts = [0u32; 11];
         for _ in 0..100_000 {
             counts[d.sample(&mut rng)] += 1;
         }
-        for k in 1..=10 {
-            let p = counts[k] as f64 / 100_000.0;
+        for (k, &count) in counts.iter().enumerate().skip(1) {
+            let p = count as f64 / 100_000.0;
             assert!((p - 0.1).abs() < 0.01, "rank {k} p {p}");
         }
     }

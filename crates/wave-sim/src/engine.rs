@@ -8,7 +8,7 @@
 //! replays bit-identically (a property the test-suite asserts).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
 use crate::time::SimTime;
@@ -16,7 +16,8 @@ use crate::time::SimTime;
 /// Identifier of a scheduled event, usable for cancellation.
 ///
 /// Cancellation is lazy: the heap entry stays in place and is skipped when
-/// popped. This keeps scheduling O(log n) with no auxiliary index.
+/// popped (an O(1) hash-set probe per pop). This keeps scheduling
+/// O(log n) with no auxiliary index and makes cancellation itself O(1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
@@ -57,7 +58,7 @@ pub struct Sim<M> {
     now: SimTime,
     seq: u64,
     heap: BinaryHeap<Scheduled<M>>,
-    cancelled: Vec<u64>,
+    cancelled: HashSet<u64>,
     executed: u64,
     stop_requested: bool,
     horizon: SimTime,
@@ -86,7 +87,7 @@ impl<M> Sim<M> {
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
-            cancelled: Vec::new(),
+            cancelled: HashSet::new(),
             executed: 0,
             stop_requested: false,
             horizon: SimTime::MAX,
@@ -146,7 +147,7 @@ impl<M> Sim<M> {
     /// Cancels a previously scheduled event. Cancelling an event that has
     /// already fired (or was already cancelled) is a no-op.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.push(id.0);
+        self.cancelled.insert(id.0);
     }
 
     /// Requests that the run loop stop after the current event returns.
@@ -166,8 +167,7 @@ impl<M> Sim<M> {
                 break;
             }
             let mut entry = self.heap.pop().expect("peeked entry exists");
-            if let Some(pos) = self.cancelled.iter().position(|&c| c == entry.seq) {
-                self.cancelled.swap_remove(pos);
+            if self.cancelled.remove(&entry.seq) {
                 continue;
             }
             debug_assert!(entry.at >= self.now, "event queue went backwards");
@@ -192,8 +192,7 @@ impl<M> Sim<M> {
                 break;
             }
             let mut entry = self.heap.pop().expect("peeked entry exists");
-            if let Some(pos) = self.cancelled.iter().position(|&c| c == entry.seq) {
-                self.cancelled.swap_remove(pos);
+            if self.cancelled.remove(&entry.seq) {
                 continue;
             }
             self.now = entry.at;
@@ -271,6 +270,29 @@ mod tests {
         let _ = keep;
         let mut log = Log::default();
         sim.run(&mut log);
+        assert_eq!(log.0, vec![1]);
+    }
+
+    /// Regression guard for the O(n²) lazy-cancellation scan: with the
+    /// old `Vec` bookkeeping, 100k cancelled events cost ~10¹⁰ probe
+    /// steps and this test would hang; the hash set finishes instantly.
+    /// The `mechanisms` bench tracks the same path
+    /// (`des_engine_mass_cancellation`).
+    #[test]
+    fn mass_cancellation_stays_linear() {
+        let mut sim = Sim::new();
+        let n = 100_000u64;
+        let mut ids = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            ids.push(sim.schedule(SimTime::from_ns(i), |m: &mut Log, _| m.0.push(0)));
+        }
+        let keep = sim.schedule(SimTime::from_ns(n), |m: &mut Log, _| m.0.push(1));
+        for id in ids {
+            sim.cancel(id);
+        }
+        let _ = keep;
+        let mut log = Log::default();
+        assert_eq!(sim.run(&mut log), 1);
         assert_eq!(log.0, vec![1]);
     }
 

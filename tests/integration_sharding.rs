@@ -1,0 +1,176 @@
+//! Cross-crate sharding tests: the rebuilt, `AgentRuntime`-backed
+//! `SchedSim` with `agents: 1` must reproduce the pre-refactor
+//! single-agent monolith bit-for-bit, and multi-agent runs must be
+//! deterministic.
+//!
+//! The golden numbers below were captured from the pre-refactor
+//! `SchedSim` (the ~1000-line monolith with inline `agent`/`msg_q`/
+//! `slots` fields) at these exact configurations and seeds, immediately
+//! before the runtime extraction. Any drift here means the refactor
+//! changed simulation behavior, not just structure.
+
+use wave::core::OptLevel;
+use wave::ghost::policies::{FifoPolicy, ShinjukuPolicy};
+use wave::ghost::sim::{Placement, SchedConfig, SchedSim, ServiceMix};
+use wave::sim::SimTime;
+
+fn cfg(workers: u32, placement: Placement, opts: OptLevel, offered: f64) -> SchedConfig {
+    let mut c = SchedConfig::new(workers, placement, opts);
+    c.offered = offered;
+    c.duration = SimTime::from_ms(200);
+    c.warmup = SimTime::from_ms(20);
+    c
+}
+
+/// (completed, p99 ns, msix_sent, agent_decisions) captured pre-refactor.
+struct Golden {
+    completed: u64,
+    p99_ns: u64,
+    msix_sent: u64,
+    decisions: u64,
+}
+
+fn assert_golden(report: &wave::ghost::sim::SchedReport, g: &Golden, label: &str) {
+    assert_eq!(report.completed, g.completed, "{label}: completed drifted");
+    assert_eq!(
+        report.latency.p99.as_ns(),
+        g.p99_ns,
+        "{label}: p99 drifted"
+    );
+    assert_eq!(report.msix_sent, g.msix_sent, "{label}: msix_sent drifted");
+    assert_eq!(
+        report.agent_decisions, g.decisions,
+        "{label}: decisions drifted"
+    );
+}
+
+#[test]
+fn one_agent_matches_pre_refactor_fifo_offloaded_full() {
+    let report = SchedSim::new(
+        cfg(4, Placement::Offloaded, OptLevel::full(), 50_000.0),
+        Box::new(FifoPolicy::new()),
+    )
+    .run();
+    assert_golden(
+        &report,
+        &Golden {
+            completed: 8_994,
+            p99_ns: 23_551,
+            msix_sent: 9_961,
+            decisions: 10_140,
+        },
+        "fifo/offloaded/full",
+    );
+}
+
+#[test]
+fn one_agent_matches_pre_refactor_shinjuku_bimodal() {
+    let mut c = cfg(4, Placement::Offloaded, OptLevel::full(), 20_000.0);
+    c.mix = ServiceMix::paper_bimodal();
+    let report = SchedSim::new(c, Box::new(ShinjukuPolicy::paper_default())).run();
+    assert_golden(
+        &report,
+        &Golden {
+            completed: 3_376,
+            p99_ns: 25_087,
+            msix_sent: 8_382,
+            decisions: 8_556,
+        },
+        "shinjuku/offloaded/bimodal",
+    );
+}
+
+#[test]
+fn one_agent_matches_pre_refactor_fifo_onhost() {
+    let report = SchedSim::new(
+        cfg(8, Placement::OnHost, OptLevel::full(), 300_000.0),
+        Box::new(FifoPolicy::new()),
+    )
+    .run();
+    assert_golden(
+        &report,
+        &Golden {
+            completed: 54_001,
+            p99_ns: 35_839,
+            msix_sent: 51_398,
+            decisions: 62_494,
+        },
+        "fifo/onhost/full",
+    );
+}
+
+#[test]
+fn one_agent_matches_pre_refactor_fifo_unoptimized() {
+    let report = SchedSim::new(
+        cfg(6, Placement::Offloaded, OptLevel::none(), 100_000.0),
+        Box::new(FifoPolicy::new()),
+    )
+    .run();
+    assert_golden(
+        &report,
+        &Golden {
+            completed: 18_108,
+            p99_ns: 38_911,
+            msix_sent: 21_117,
+            decisions: 21_117,
+        },
+        "fifo/offloaded/none",
+    );
+}
+
+#[test]
+fn explicit_single_shard_factory_matches_new() {
+    let direct = SchedSim::new(
+        cfg(4, Placement::Offloaded, OptLevel::full(), 50_000.0),
+        Box::new(FifoPolicy::new()),
+    )
+    .run();
+    let via_factory = SchedSim::with_policy_factory(
+        cfg(4, Placement::Offloaded, OptLevel::full(), 50_000.0),
+        |_| Box::new(FifoPolicy::new()),
+    )
+    .run();
+    assert_eq!(direct.completed, via_factory.completed);
+    assert_eq!(direct.latency.p99, via_factory.latency.p99);
+    assert_eq!(direct.msix_sent, via_factory.msix_sent);
+}
+
+#[test]
+fn four_agents_are_deterministic() {
+    let run = || {
+        let mut c = cfg(8, Placement::Offloaded, OptLevel::full(), 300_000.0);
+        c.agents = 4;
+        SchedSim::with_policy_factory(c, |_| Box::new(FifoPolicy::new())).run()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.latency.p99, b.latency.p99);
+    assert_eq!(a.latency.p999, b.latency.p999);
+    assert_eq!(a.msix_sent, b.msix_sent);
+    assert_eq!(a.agent_decisions, b.agent_decisions);
+    assert_eq!(a.per_agent_decisions, b.per_agent_decisions);
+    assert_eq!(a.diag, b.diag);
+}
+
+#[test]
+fn four_agents_with_steal_are_deterministic_and_work_conserving() {
+    let run = |steal: bool| {
+        let mut c = cfg(8, Placement::Offloaded, OptLevel::full(), 100_000.0);
+        c.agents = 4;
+        c.steal = steal;
+        c.mix = ServiceMix::paper_bimodal();
+        SchedSim::with_policy_factory(c, |_| Box::new(FifoPolicy::new())).run()
+    };
+    let (a, b) = (run(true), run(true));
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.diag.steals, b.diag.steals);
+    let fixed = run(false);
+    assert_eq!(fixed.diag.steals, 0);
+    // Stealing must not lose work.
+    assert!(
+        a.completed * 100 >= fixed.completed * 99,
+        "steal {} vs fixed {}",
+        a.completed,
+        fixed.completed
+    );
+}

@@ -12,20 +12,18 @@ use wave::sim::SimTime;
 /// vCPU bursts: long, ms-scale service times (vCPUs run "for several
 /// milliseconds continuously before requiring scheduler intervention").
 fn vcpu_mix() -> ServiceMix {
-    ServiceMix {
-        entries: vec![
-            MixEntry {
-                weight: 0.5,
-                service: SimTime::from_ms(12),
-                slo: SloClass(0),
-            },
-            MixEntry {
-                weight: 0.5,
-                service: SimTime::from_ms(25),
-                slo: SloClass(0),
-            },
-        ],
-    }
+    ServiceMix::new(vec![
+        MixEntry {
+            weight: 0.5,
+            service: SimTime::from_ms(12),
+            slo: SloClass(0),
+        },
+        MixEntry {
+            weight: 0.5,
+            service: SimTime::from_ms(25),
+            slo: SloClass(0),
+        },
+    ])
 }
 
 #[test]

@@ -282,7 +282,9 @@ mod tests {
 
         #[test]
         fn bools_and_trailing_comma(b in prop::bool::ANY,) {
-            prop_assert!(b || !b);
+            // Exercises bool generation + trailing-comma parsing; the
+            // assertion only needs to accept both outcomes.
+            prop_assert!(usize::from(b) <= 1);
         }
     }
 

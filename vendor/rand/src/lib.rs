@@ -263,6 +263,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "empty range")]
+    #[allow(clippy::reversed_empty_ranges)] // the panic is the point
     fn inverted_integer_range_panics() {
         let mut rng = SmallRng::seed_from_u64(4);
         rng.random_range(10u8..5);
