@@ -15,7 +15,13 @@ fn fig6b(c: &mut Criterion) {
     point_cfg.duration = wave_sim::SimTime::from_ms(60);
     point_cfg.warmup = wave_sim::SimTime::from_ms(10);
     c.bench_function("fig6b_onhost_schedule_point_60k", |b| {
-        b.iter(|| black_box(run_point(&point_cfg, Fig6Scenario::OnHostSchedule, 60_000.0)))
+        b.iter(|| {
+            black_box(run_point(
+                &point_cfg,
+                Fig6Scenario::OnHostSchedule,
+                60_000.0,
+            ))
+        })
     });
 }
 

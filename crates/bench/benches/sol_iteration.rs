@@ -27,7 +27,12 @@ fn sol_iter(c: &mut Criterion) {
             .map(|i| if i % 5 == 0 { (20.0, 2.0) } else { (2.0, 20.0) })
             .collect();
         b.iter(|| {
-            black_box(wave_memmgr::runner::parallel_classify(&posteriors, 0.5, 8, 11))
+            black_box(wave_memmgr::runner::parallel_classify(
+                &posteriors,
+                0.5,
+                8,
+                11,
+            ))
         })
     });
 }

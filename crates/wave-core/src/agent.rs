@@ -151,10 +151,18 @@ mod tests {
     #[test]
     fn work_serializes() {
         let mut a = agent_on(CoreClass::HostX86);
-        let t1 = a.run(SimTime::ZERO, WorkloadClass::ComputeBound, SimTime::from_ns(100));
+        let t1 = a.run(
+            SimTime::ZERO,
+            WorkloadClass::ComputeBound,
+            SimTime::from_ns(100),
+        );
         assert_eq!(t1, SimTime::from_ns(100));
         // Submitted "at 0" but the agent is busy until 100.
-        let t2 = a.run(SimTime::ZERO, WorkloadClass::ComputeBound, SimTime::from_ns(50));
+        let t2 = a.run(
+            SimTime::ZERO,
+            WorkloadClass::ComputeBound,
+            SimTime::from_ns(50),
+        );
         assert_eq!(t2, SimTime::from_ns(150));
     }
 
@@ -162,8 +170,16 @@ mod tests {
     fn nic_agent_is_slower_for_compute() {
         let mut host = agent_on(CoreClass::HostX86);
         let mut nic = agent_on(CoreClass::NicArm);
-        let th = host.run(SimTime::ZERO, WorkloadClass::ComputeBound, SimTime::from_us(1));
-        let tn = nic.run(SimTime::ZERO, WorkloadClass::ComputeBound, SimTime::from_us(1));
+        let th = host.run(
+            SimTime::ZERO,
+            WorkloadClass::ComputeBound,
+            SimTime::from_us(1),
+        );
+        let tn = nic.run(
+            SimTime::ZERO,
+            WorkloadClass::ComputeBound,
+            SimTime::from_us(1),
+        );
         assert_eq!(th, SimTime::from_us(1));
         assert_eq!(tn, SimTime::from_ns(2_080));
     }
@@ -175,7 +191,11 @@ mod tests {
         assert_eq!(a.state(), AgentState::Killed);
         a.restart(SimTime::from_ms(5));
         assert!(a.is_running());
-        let t = a.run(SimTime::from_ms(5), WorkloadClass::MemoryBound, SimTime::from_ns(100));
+        let t = a.run(
+            SimTime::from_ms(5),
+            WorkloadClass::MemoryBound,
+            SimTime::from_ns(100),
+        );
         assert!(t >= SimTime::from_ms(5));
     }
 
@@ -184,7 +204,11 @@ mod tests {
     fn dead_agent_rejects_work() {
         let mut a = agent_on(CoreClass::NicArm);
         a.crash();
-        let _ = a.run(SimTime::ZERO, WorkloadClass::ComputeBound, SimTime::from_ns(1));
+        let _ = a.run(
+            SimTime::ZERO,
+            WorkloadClass::ComputeBound,
+            SimTime::from_ns(1),
+        );
     }
 
     #[test]

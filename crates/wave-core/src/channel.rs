@@ -11,7 +11,9 @@
 //! Every method returns the CPU time it costs its caller, so experiment
 //! simulations account for the full communication overhead.
 
-use wave_pcie::{DmaMode, Interconnect, MsixDelivery, MsixSendPath, MsixVector, PteType, SocPteMode};
+use wave_pcie::{
+    DmaMode, Interconnect, MsixDelivery, MsixSendPath, MsixVector, PteType, SocPteMode,
+};
 use wave_queue::{Direction, PollOutcome, PushError, Transport, WaveQueue};
 use wave_sim::SimTime;
 
@@ -158,7 +160,13 @@ impl<M, D> WaveChannel<M, D> {
     }
 
     /// Direct access to the underlying queues (telemetry/tests).
-    pub fn queues(&self) -> (&WaveQueue<M>, &WaveQueue<Txn<D>>, &WaveQueue<TxnOutcomeRecord>) {
+    pub fn queues(
+        &self,
+    ) -> (
+        &WaveQueue<M>,
+        &WaveQueue<Txn<D>>,
+        &WaveQueue<TxnOutcomeRecord>,
+    ) {
         (&self.messages, &self.txns, &self.outcomes)
     }
 
@@ -207,14 +215,24 @@ impl<M, D> WaveChannel<M, D> {
     }
 
     /// `POLL_TXNS`: drains staged transactions (host side).
-    pub fn poll_txns(&mut self, now: SimTime, ic: &mut Interconnect, max: usize) -> PollOutcome<Txn<D>> {
+    pub fn poll_txns(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        max: usize,
+    ) -> PollOutcome<Txn<D>> {
         self.txns.poll_host(now, ic, max)
     }
 
     /// The host's MSI-X handler half of the §5.3.2 software coherence
     /// protocol: flush the stale cached view of the next `entries`
     /// decisions, so the following `poll_txns` refetches fresh data.
-    pub fn invalidate_txns(&mut self, now: SimTime, ic: &mut Interconnect, entries: u64) -> SimTime {
+    pub fn invalidate_txns(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        entries: u64,
+    ) -> SimTime {
         self.txns.invalidate_head(now, ic, entries)
     }
 
@@ -238,7 +256,12 @@ impl<M, D> WaveChannel<M, D> {
     // --- SmartNIC API ----------------------------------------------------
 
     /// `POLL_MESSAGES`: the agent drains kernel state updates.
-    pub fn poll_messages(&mut self, now: SimTime, ic: &mut Interconnect, max: usize) -> PollOutcome<M> {
+    pub fn poll_messages(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        max: usize,
+    ) -> PollOutcome<M> {
         self.messages.poll_nic(now, ic, max)
     }
 
@@ -246,7 +269,11 @@ impl<M, D> WaveChannel<M, D> {
     pub fn txn_create(&mut self, target: crate::txn::ResourceRef, decision: D) -> Txn<D> {
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
-        Txn { id, target, decision }
+        Txn {
+            id,
+            target,
+            decision,
+        }
     }
 
     /// `TXNS_COMMIT`: stages a batch of transactions into the decision
@@ -289,7 +316,11 @@ impl<M, D> WaveChannel<M, D> {
                 None
             }
         };
-        Ok(CommitOutcome { cpu, visible_at, msix })
+        Ok(CommitOutcome {
+            cpu,
+            visible_at,
+            msix,
+        })
     }
 
     /// `POLL_TXNS_OUTCOMES`: the agent learns which commits succeeded.
@@ -311,9 +342,12 @@ impl<M, D> WaveChannel<M, D> {
     /// mid-experiment.
     pub fn set_queue_type(&mut self, ic: &mut Interconnect, opts: OptLevel) {
         self.cfg.opts = opts;
-        ic.mmio.set_pte(self.messages.region(), opts.message_queue_pte());
-        ic.mmio.set_pte(self.txns.region(), opts.decision_queue_pte());
-        ic.mmio.set_pte(self.outcomes.region(), opts.message_queue_pte());
+        ic.mmio
+            .set_pte(self.messages.region(), opts.message_queue_pte());
+        ic.mmio
+            .set_pte(self.txns.region(), opts.decision_queue_pte());
+        ic.mmio
+            .set_pte(self.outcomes.region(), opts.message_queue_pte());
     }
 
     /// Host PTE type currently used by the decision queue.
@@ -392,7 +426,10 @@ mod tests {
     fn txn_ids_are_unique_and_ordered() {
         let mut ic = Interconnect::pcie();
         let mut ch = chan(&mut ic, OptLevel::full());
-        let r = crate::txn::ResourceRef { resource: 1, generation: 0 };
+        let r = crate::txn::ResourceRef {
+            resource: 1,
+            generation: 0,
+        };
         let a = ch.txn_create(r, 1);
         let b = ch.txn_create(r, 2);
         assert!(a.id < b.id);
@@ -402,7 +439,10 @@ mod tests {
     fn skip_msix_suppresses_interrupt() {
         let mut ic = Interconnect::pcie();
         let mut ch = chan(&mut ic, OptLevel::full());
-        let r = crate::txn::ResourceRef { resource: 1, generation: 0 };
+        let r = crate::txn::ResourceRef {
+            resource: 1,
+            generation: 0,
+        };
         let txn = ch.txn_create(r, 9);
         let out = ch
             .txns_commit(SimTime::ZERO, &mut ic, [txn], MsixMode::Skip)
@@ -420,9 +460,13 @@ mod tests {
         let mut ch_full = chan(&mut ic_full, OptLevel::full());
 
         for (ch, ic) in [(&mut ch_base, &mut ic_base), (&mut ch_full, &mut ic_full)] {
-            let r = crate::txn::ResourceRef { resource: 1, generation: 0 };
+            let r = crate::txn::ResourceRef {
+                resource: 1,
+                generation: 0,
+            };
             let txn = ch.txn_create(r, 5);
-            ch.txns_commit(SimTime::ZERO, ic, [txn], MsixMode::Skip).unwrap();
+            ch.txns_commit(SimTime::ZERO, ic, [txn], MsixMode::Skip)
+                .unwrap();
         }
         // Optimized host: prefetch then poll (hits cache).
         ch_full.prefetch_txns(SimTime::from_us(1), &mut ic_full);

@@ -28,7 +28,9 @@
 //! * [`agent`] — SmartNIC agent lifecycle and its serial compute clock.
 //! * [`runtime`] — the reusable agent-runtime layer: one agent's
 //!   message queue + decision-slot table + pump gating, behind a
-//!   [`runtime::ResourcePolicy`]-driven stage API. Sharded deployments
+//!   [`runtime::ResourcePolicy`]-driven stage API, generic over the
+//!   ingest transport (MMIO message queues for the scheduler, batched
+//!   delta-compressed DMA for the memory manager). Sharded deployments
 //!   instantiate one [`runtime::AgentRuntime`] per agent.
 //! * [`watchdog`] — the per-component on-host watchdog (§3.3: kill an
 //!   agent that has made no decision for >20 ms).
@@ -43,8 +45,10 @@ pub mod txn;
 pub mod watchdog;
 
 pub use agent::{Agent, AgentId, AgentState};
-pub use runtime::{AgentRuntime, ResourcePolicy, RuntimeConfig, SlotId, SlotTable, StageCost};
 pub use channel::{ChannelConfig, CommitOutcome, MsixMode, WaveChannel};
 pub use opts::OptLevel;
+pub use runtime::{
+    AgentRuntime, DmaShipment, ResourcePolicy, RuntimeConfig, SlotId, SlotTable, StageCost,
+};
 pub use txn::{GenerationTable, ResourceRef, Txn, TxnId, TxnOutcome, TxnOutcomeRecord};
 pub use watchdog::Watchdog;

@@ -129,7 +129,10 @@ mod tests {
     fn pte_mapping_follows_toggles() {
         assert_eq!(OptLevel::none().message_queue_pte(), PteType::Uncacheable);
         assert_eq!(OptLevel::none().decision_queue_pte(), PteType::Uncacheable);
-        assert_eq!(OptLevel::full().message_queue_pte(), PteType::WriteCombining);
+        assert_eq!(
+            OptLevel::full().message_queue_pte(),
+            PteType::WriteCombining
+        );
         assert_eq!(OptLevel::full().decision_queue_pte(), PteType::WriteThrough);
         assert_eq!(OptLevel::none().soc_pte(), SocPteMode::Uncached);
         assert_eq!(OptLevel::full().soc_pte(), SocPteMode::WriteBack);

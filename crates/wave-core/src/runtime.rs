@@ -22,8 +22,29 @@
 //! The runtime is deliberately *mechanism only*: host-side state (which
 //! cores are idle, thread tables, commit validation) stays with the
 //! caller, which is what lets N runtimes shard one host's cores.
+//!
+//! # Transports
+//!
+//! Both §4 agents run on this runtime, but they bind it to different
+//! transports ([`RuntimeConfig::msg_transport`]):
+//!
+//! * the **thread scheduler** (§4.1) uses [`Transport::Mmio`]: µs-scale
+//!   wakeup messages land in SmartNIC DRAM one posted write at a time,
+//!   and decisions are consumed slot-by-slot over MMIO
+//!   ([`SlotTable::host_consume`]);
+//! * the **memory manager** (§4.2) uses [`Transport::Dma`]: PTE deltas
+//!   are staged locally and shipped in one batched, delta-compressed
+//!   DMA per iteration ([`RuntimeConfig::wire_bytes_per_msg`] models
+//!   the compression), and the staged migration decisions return to the
+//!   host in bulk via [`AgentRuntime::dma_ship_staged`] rather than
+//!   per-slot MMIO reads.
+//!
+//! The duty cycle — pump, stage, commit — is the same either way; only
+//! the queue legs differ, which is what makes runtime features (pump
+//! gating, watchdog restart, N-shard slicing) apply to both agents.
 
-use wave_pcie::{Interconnect, LineAddr, PteType, RegionId, SocPteMode};
+use wave_pcie::config::Side;
+use wave_pcie::{DmaDirection, DmaMode, Interconnect, LineAddr, PteType, RegionId, SocPteMode};
 use wave_queue::{Direction, PollOutcome, Transport, WaveQueue};
 use wave_sim::cpu::{CoreClass, CpuModel};
 use wave_sim::SimTime;
@@ -126,6 +147,21 @@ impl<D: Copy> SlotTable<D> {
         (self.hits, self.misses)
     }
 
+    /// Drains every staged decision in slot order — the bulk consume
+    /// used by DMA-transport runtimes, where the host receives the
+    /// whole batch at a transfer's completion instead of reading slots
+    /// one MMIO line at a time. Each drained decision counts as a hit.
+    pub fn drain_staged(&mut self) -> Vec<(SlotId, D)> {
+        let mut out = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(staged) = slot.take() {
+                self.hits += 1;
+                out.push((SlotId(i as u32), staged.decision));
+            }
+        }
+        out
+    }
+
     /// Agent stages (or replaces) a decision for `slot`. Returns the
     /// agent CPU cost. The host's cached view of the slot line becomes
     /// stale.
@@ -169,7 +205,12 @@ impl<D: Copy> SlotTable<D> {
     /// Host flushes its cached view of `slot` (`clflush`) — run from the
     /// MSI-X handler before reading a freshly-announced decision
     /// (§5.3.2).
-    pub fn host_invalidate(&mut self, now: SimTime, ic: &mut Interconnect, slot: SlotId) -> SimTime {
+    pub fn host_invalidate(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        slot: SlotId,
+    ) -> SimTime {
         ic.mmio.clflush(now, self.line(slot))
     }
 
@@ -272,6 +313,14 @@ pub struct RuntimeConfig {
     /// Decision slots this runtime owns (e.g. its share of worker
     /// cores).
     pub slots: u32,
+    /// Transport for the host→agent message queue: [`Transport::Mmio`]
+    /// for µs-scale traffic (the scheduler), [`Transport::Dma`] for
+    /// batched bulk streams (the memory manager's PTE deltas).
+    pub msg_transport: Transport,
+    /// Wire bytes per message entry when the DMA stream is compressed
+    /// in flight (§4.2's ~10:1 delta compression). `None` ships raw
+    /// entries. Ignored for MMIO transports.
+    pub wire_bytes_per_msg: Option<u64>,
     /// Host PTE type for the message queue.
     pub msg_pte: PteType,
     /// Host PTE type for the decision slots.
@@ -281,6 +330,18 @@ pub struct RuntimeConfig {
     /// Spin-loop discovery latency: how long after a message becomes
     /// visible until the polling agent picks it up.
     pub pickup: SimTime,
+}
+
+/// Result of shipping the staged decisions to the host in one batched
+/// DMA ([`AgentRuntime::dma_ship_staged`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmaShipment<D> {
+    /// The shipped decisions, in slot order; the slots are now empty.
+    pub decisions: Vec<(SlotId, D)>,
+    /// Agent CPU cost (doorbell for async, blocking wait for sync).
+    pub initiator_cpu: SimTime,
+    /// When the batch is fully visible in host DRAM.
+    pub complete_at: SimTime,
 }
 
 /// One agent's runtime: message queue + slot table + serial compute
@@ -310,16 +371,23 @@ impl<M, D: Copy> AgentRuntime<M, D> {
         cpu: CpuModel,
         cfg: &RuntimeConfig,
     ) -> Self {
-        let msg_q = WaveQueue::new(
+        let mut msg_q = WaveQueue::new(
             ic,
             Direction::HostToNic,
-            Transport::Mmio,
+            cfg.msg_transport,
             cfg.queue_capacity,
             cfg.msg_words,
             cfg.msg_pte,
             cfg.soc_pte,
         );
-        let slots = SlotTable::new(ic, cfg.slots, cfg.decision_words, cfg.decision_pte, cfg.soc_pte);
+        msg_q.set_wire_bytes_per_entry(cfg.wire_bytes_per_msg);
+        let slots = SlotTable::new(
+            ic,
+            cfg.slots,
+            cfg.decision_words,
+            cfg.decision_pte,
+            cfg.soc_pte,
+        );
         let agent = Agent::start(id, core, cpu);
         AgentRuntime {
             agent,
@@ -358,14 +426,26 @@ impl<M, D: Copy> AgentRuntime<M, D> {
     /// Host pushes one message with no retry (paths that tolerate loss,
     /// e.g. a preemption requeue racing queue exhaustion). Returns the
     /// CPU cost on success.
-    pub fn host_try_send(&mut self, now: SimTime, ic: &mut Interconnect, msg: M) -> Option<SimTime> {
+    pub fn host_try_send(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        msg: M,
+    ) -> Option<SimTime> {
         self.msg_q.push(now, ic, msg).ok().map(|out| out.cpu)
     }
 
     /// Host flushes the message queue so pushed entries become visible
-    /// to the agent after the interconnect delay.
+    /// to the agent: an `sfence` for MMIO transports, the batched
+    /// (possibly delta-compressed) transfer for DMA transports. The
+    /// entries' arrival instant is then [`AgentRuntime::next_visible_at`].
     pub fn host_flush(&mut self, now: SimTime, ic: &mut Interconnect) -> SimTime {
         self.msg_q.flush(now, ic)
+    }
+
+    /// The message-queue transport this runtime was built with.
+    pub fn msg_transport(&self) -> Transport {
+        self.msg_q.transport()
     }
 
     // --- Agent side: the duty cycle ------------------------------------
@@ -423,7 +503,13 @@ impl<M, D: Copy> AgentRuntime<M, D> {
 
     /// Stages a caller-built decision directly (e.g. a "continue"
     /// decision at a slice boundary). Returns the agent CPU cost.
-    pub fn stage_raw(&mut self, now: SimTime, ic: &mut Interconnect, slot: SlotId, d: D) -> SimTime {
+    pub fn stage_raw(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        slot: SlotId,
+        d: D,
+    ) -> SimTime {
         self.slots.stage(now, ic, slot, d)
     }
 
@@ -457,6 +543,38 @@ impl<M, D: Copy> AgentRuntime<M, D> {
             }
         }
         staged
+    }
+
+    /// Ships every staged decision to the host in one batched DMA — the
+    /// memory manager's migration-decision leg (§4.2), and the DMA
+    /// counterpart of the per-slot [`SlotTable::host_consume`] path.
+    ///
+    /// `wire_bytes` is the compressed on-wire size of the batch; the
+    /// decision stream ships a header even when nothing is staged, so
+    /// the transfer is floored at a 64-byte minimum payload (matching
+    /// the ingest leg's compressed-batch floor). The slots empty
+    /// immediately on the agent side; the host owns the decisions once
+    /// the transfer completes at [`DmaShipment::complete_at`].
+    pub fn dma_ship_staged(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        wire_bytes: u64,
+        mode: DmaMode,
+    ) -> DmaShipment<D> {
+        let decisions = self.slots.drain_staged();
+        let t = ic.dma.transfer(
+            now,
+            wire_bytes.max(64),
+            DmaDirection::NicToHost,
+            mode,
+            Side::Nic,
+        );
+        DmaShipment {
+            decisions,
+            initiator_cpu: t.initiator_cpu,
+            complete_at: t.complete_at,
+        }
     }
 
     // --- Accessors ------------------------------------------------------
@@ -542,6 +660,8 @@ mod tests {
             msg_words: 4,
             decision_words: 6,
             slots: 4,
+            msg_transport: Transport::Mmio,
+            wire_bytes_per_msg: None,
             msg_pte: PteType::WriteCombining,
             decision_pte: PteType::WriteThrough,
             soc_pte: SocPteMode::WriteBack,
@@ -712,6 +832,73 @@ mod tests {
         assert_eq!(got, Some(99));
         let (_c, empty) = slots.host_consume(SimTime::from_us(3), &mut ic, SlotId(1));
         assert!(empty.is_none());
+    }
+
+    fn dma_runtime(ic: &mut Interconnect) -> AgentRuntime<u64, u64> {
+        let cfg = RuntimeConfig {
+            queue_capacity: 1 << 12,
+            msg_words: 8,
+            decision_words: 6,
+            slots: 8,
+            msg_transport: Transport::Dma(DmaMode::Async),
+            wire_bytes_per_msg: Some(8),
+            msg_pte: PteType::WriteCombining,
+            decision_pte: PteType::WriteThrough,
+            soc_pte: SocPteMode::WriteBack,
+            pickup: SimTime::from_ns(100),
+        };
+        AgentRuntime::new(
+            ic,
+            AgentId(1),
+            CoreClass::NicArm,
+            CpuModel::mount_evans(),
+            &cfg,
+        )
+    }
+
+    #[test]
+    fn dma_transport_batches_ingest() {
+        let mut ic = Interconnect::pcie();
+        let mut rt = dma_runtime(&mut ic);
+        assert_eq!(rt.msg_transport(), Transport::Dma(DmaMode::Async));
+        for v in 0..500u64 {
+            let (_cost, ok) = rt.host_send(SimTime::ZERO, &mut ic, v);
+            assert!(ok);
+        }
+        // Staged locally: nothing visible, no DMA issued yet.
+        assert_eq!(ic.dma.transfers(), 0);
+        rt.host_flush(SimTime::ZERO, &mut ic);
+        assert_eq!(ic.dma.transfers(), 1);
+        // 500 compressed 8-byte entries on the wire.
+        assert_eq!(ic.dma.bytes_moved(), 500 * 8);
+        let arrive = rt.next_visible_at().expect("batch in flight");
+        assert!(rt
+            .poll(arrive - SimTime::from_ns(1), &mut ic, 1000)
+            .items
+            .is_empty());
+        let polled = rt.poll(arrive, &mut ic, 1000);
+        assert_eq!(polled.items.len(), 500);
+        assert_eq!(polled.items[499], 499);
+    }
+
+    #[test]
+    fn dma_ship_staged_drains_slots_in_bulk() {
+        let mut ic = Interconnect::pcie();
+        let mut rt = dma_runtime(&mut ic);
+        rt.stage_raw(SimTime::ZERO, &mut ic, SlotId(1), 11u64);
+        rt.stage_raw(SimTime::ZERO, &mut ic, SlotId(5), 55u64);
+        let before = ic.dma.transfers();
+        let ship = rt.dma_ship_staged(SimTime::from_us(1), &mut ic, 64, DmaMode::Async);
+        assert_eq!(ic.dma.transfers(), before + 1);
+        assert_eq!(ship.decisions, vec![(SlotId(1), 11), (SlotId(5), 55)]);
+        assert!(ship.complete_at > SimTime::from_us(1));
+        assert_eq!(rt.slots_ref().staged_count(), 0, "slots emptied");
+        let (hits, _) = rt.slots_ref().hit_miss();
+        assert_eq!(hits, 2, "bulk consume counts as host hits");
+        // An empty shipment still moves its header.
+        let empty = rt.dma_ship_staged(SimTime::from_us(2), &mut ic, 64, DmaMode::Async);
+        assert!(empty.decisions.is_empty());
+        assert_eq!(ic.dma.transfers(), before + 2);
     }
 
     #[test]

@@ -122,10 +122,12 @@ impl GenerationTable {
     /// Captures a [`ResourceRef`] for the agent's view, or `None` if the
     /// resource does not exist.
     pub fn snapshot(&self, resource: u64) -> Option<ResourceRef> {
-        self.generations.get(&resource).map(|&generation| ResourceRef {
-            resource,
-            generation,
-        })
+        self.generations
+            .get(&resource)
+            .map(|&generation| ResourceRef {
+                resource,
+                generation,
+            })
     }
 
     /// Validates an observed reference against current state: the atomic

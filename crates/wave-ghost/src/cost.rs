@@ -72,7 +72,11 @@ impl CostModel {
     /// Commit-path cost on the host: validation + outcome bookkeeping,
     /// plus the remote extra if the agent is offloaded.
     pub fn commit_path(&self, offloaded: bool) -> SimTime {
-        let extra = if offloaded { self.remote_commit_extra_ns } else { 0 };
+        let extra = if offloaded {
+            self.remote_commit_extra_ns
+        } else {
+            0
+        };
         SimTime::from_ns(self.validate_ns + self.outcome_report_ns + extra)
     }
 }

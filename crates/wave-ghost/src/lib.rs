@@ -24,7 +24,7 @@
 //! * [`microbench`] — the single-decision-path measurements of Table 3.
 //!
 //! The same simulation code runs every scenario; only the
-//! [`Placement`](sim::Placement) (host vs. NIC agent) and
+//! [`Placement`] (host vs. NIC agent) and
 //! [`OptLevel`](wave_core::OptLevel) differ — the paper's
 //! "apples-to-apples" methodology.
 

@@ -30,9 +30,9 @@ use wave_sim::SimTime;
 
 use crate::cost::CostModel;
 use crate::msg::{CpuId, SchedMsg, SchedMsgKind, Tid};
-use wave_core::runtime::SlotId;
 use crate::sim::Placement;
 use crate::slots::{DecisionSlots, SlotDecision};
+use wave_core::runtime::SlotId;
 
 /// One measured row.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,7 +55,10 @@ impl MicrobenchRow {
     }
 }
 
-fn test_rig(placement: Placement, opts: OptLevel) -> (Interconnect, DecisionSlots, WaveQueue<SchedMsg>, CostModel) {
+fn test_rig(
+    placement: Placement,
+    opts: OptLevel,
+) -> (Interconnect, DecisionSlots, WaveQueue<SchedMsg>, CostModel) {
     let cfg = match placement {
         Placement::OnHost => PcieConfig::host_local(),
         Placement::Offloaded => PcieConfig::pcie(),
@@ -71,7 +74,13 @@ fn test_rig(placement: Placement, opts: OptLevel) -> (Interconnect, DecisionSlot
         opts.message_queue_pte(),
         opts.soc_pte(),
     );
-    let slots = DecisionSlots::new(&mut ic, 2, cost.decision_words, opts.decision_queue_pte(), opts.soc_pte());
+    let slots = DecisionSlots::new(
+        &mut ic,
+        2,
+        cost.decision_words,
+        opts.decision_queue_pte(),
+        opts.soc_pte(),
+    );
     (ic, slots, msg_q, cost)
 }
 
@@ -97,7 +106,9 @@ pub fn open_decision(placement: Placement, opts: OptLevel) -> SimTime {
         Placement::OnHost => wave_pcie::config::Side::Host,
         Placement::Offloaded => wave_pcie::config::Side::Nic,
     };
-    let d = ic.msix.send(t0 + cost, MsixVector(0), MsixSendPath::Ioctl, side);
+    let d = ic
+        .msix
+        .send(t0 + cost, MsixVector(0), MsixSendPath::Ioctl, side);
     cost += d.sender_cpu;
     cost
 }
@@ -166,7 +177,9 @@ pub fn context_switch(placement: Placement, opts: OptLevel) -> SimTime {
     agent_t += ic.soc.access(opts.soc_pte(), cost_model.agent_state_words);
     agent_t += policy_compute;
     agent_t += slots.stage(agent_t, &mut ic, SlotId(cpu.0), decision());
-    let d = ic.msix.send(agent_t, MsixVector(0), MsixSendPath::Ioctl, side);
+    let d = ic
+        .msix
+        .send(agent_t, MsixVector(0), MsixSendPath::Ioctl, side);
 
     // Host IRQ: coherence flush + read + commit + switch.
     let mut h = d.handler_at;
@@ -252,7 +265,10 @@ mod tests {
     fn open_decision_anchors() {
         let base = open_decision(Placement::Offloaded, OptLevel::none());
         let wb = open_decision(Placement::Offloaded, OptLevel::nic_wb());
-        assert!((base.as_ns() as i64 - 1_013).unsigned_abs() < 150, "base {base}");
+        assert!(
+            (base.as_ns() as i64 - 1_013).unsigned_abs() < 150,
+            "base {base}"
+        );
         assert!((wb.as_ns() as i64 - 426).unsigned_abs() < 100, "wb {wb}");
     }
 

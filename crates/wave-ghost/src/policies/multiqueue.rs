@@ -45,7 +45,10 @@ impl MultiQueueShinjuku {
     /// The paper's Fig. 6b setup: two classes — latency-critical (200 µs)
     /// and batch (5 ms) — with the 30 µs slice.
     pub fn paper_default() -> Self {
-        Self::new(&[SimTime::from_us(200), SimTime::from_ms(5)], SimTime::from_us(30))
+        Self::new(
+            &[SimTime::from_us(200), SimTime::from_ms(5)],
+            SimTime::from_us(30),
+        )
     }
 
     fn class_index(&self, slo: SloClass) -> usize {
@@ -121,7 +124,7 @@ mod tests {
         let mut p = MultiQueueShinjuku::paper_default();
         p.on_runnable(SimTime::ZERO, Tid(1), meta(0, 1)); // batch (5 ms SLO)
         p.on_runnable(SimTime::ZERO, Tid(2), meta(0, 0)); // critical (200 us)
-        // Both waited 100 us: critical used 50% of budget, batch 2%.
+                                                          // Both waited 100 us: critical used 50% of budget, batch 2%.
         assert_eq!(p.pick_next(SimTime::from_us(100)), Some(Tid(2)));
         assert_eq!(p.pick_next(SimTime::from_us(100)), Some(Tid(1)));
     }
@@ -131,7 +134,7 @@ mod tests {
         let mut p = MultiQueueShinjuku::paper_default();
         p.on_runnable(SimTime::ZERO, Tid(1), meta(0, 1)); // batch, waiting long
         p.on_runnable(SimTime::ZERO, Tid(2), meta(9_900, 0)); // critical, just arrived
-        // At t=10ms: batch used 10ms/5ms = 200%, critical 100us/200us = 50%.
+                                                              // At t=10ms: batch used 10ms/5ms = 200%, critical 100us/200us = 50%.
         assert_eq!(p.pick_next(SimTime::from_ms(10)), Some(Tid(1)));
     }
 

@@ -119,7 +119,11 @@ mod tests {
         p.account(Tid(2), SimTime::from_ms(2));
         p.on_runnable(SimTime::ZERO, Tid(1), ThreadMeta::at(SimTime::ZERO));
         p.on_runnable(SimTime::ZERO, Tid(2), ThreadMeta::at(SimTime::ZERO));
-        assert_eq!(p.pick_next(SimTime::ZERO), Some(Tid(2)), "least-run vCPU first");
+        assert_eq!(
+            p.pick_next(SimTime::ZERO),
+            Some(Tid(2)),
+            "least-run vCPU first"
+        );
     }
 
     #[test]

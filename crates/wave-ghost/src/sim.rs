@@ -88,7 +88,11 @@ impl ServiceMix {
             total += e.weight;
             cum.push(total);
         }
-        ServiceMix { entries, cum, total }
+        ServiceMix {
+            entries,
+            cum,
+            total,
+        }
     }
 
     /// 100% 10 µs GET requests (Fig. 4a).
@@ -451,6 +455,9 @@ impl SchedSim {
                 msg_words: cfg.cost.msg_words,
                 decision_words: cfg.cost.decision_words,
                 slots: end - start,
+                // The scheduler is the µs-scale agent: MMIO queues (§4.1).
+                msg_transport: wave_queue::Transport::Mmio,
+                wire_bytes_per_msg: None,
                 msg_pte: cfg.opts.message_queue_pte(),
                 decision_pte: cfg.opts.decision_queue_pte(),
                 soc_pte: cfg.opts.soc_pte(),
@@ -481,10 +488,7 @@ impl SchedSim {
             agent_core,
             offloaded,
             diag: Diag::default(),
-            stack_busy: vec![
-                SimTime::ZERO;
-                cfg.ingress.map_or(0, |i| i.stack_cores as usize)
-            ],
+            stack_busy: vec![SimTime::ZERO; cfg.ingress.map_or(0, |i| i.stack_cores as usize)],
             prestage_scratch: Vec::with_capacity(cfg.workers as usize),
             cfg,
         }
@@ -562,7 +566,10 @@ impl SchedSim {
             // Route through the RPC stack: pick the least-busy stack
             // core; the scheduler learns about the request when protocol
             // processing completes.
-            let ratio = self.cfg.cpu.ratio(ing.stack_core, WorkloadClass::ComputeBound);
+            let ratio = self
+                .cfg
+                .cpu
+                .ratio(ing.stack_core, WorkloadClass::ComputeBound);
             let svc = ing.per_rpc.scale(ratio);
             let idx = (0..self.stack_busy.len())
                 .min_by_key(|&i| self.stack_busy[i])
@@ -702,7 +709,10 @@ impl SchedSim {
             // re-kick; otherwise try to stage a fresh pick — from this
             // shard's queue, then (optionally, and only once the local
             // queue is truly empty) stolen from a sibling.
-            let have = self.shards[si].rt.slots_ref().is_staged(self.local_slot(cpu))
+            let have = self.shards[si]
+                .rt
+                .slots_ref()
+                .is_staged(self.local_slot(cpu))
                 || self.stage_pick(now, si, cpu, &mut nic_cost)
                 || (self.cfg.steal
                     && self.shards[si].policy.queue_depth() == 0
@@ -836,9 +846,10 @@ impl SchedSim {
             gen: &self.gen,
             next_txn: &mut self.next_txn,
         };
-        let staged = thief
-            .rt
-            .stage_with(now, &mut self.ic, &mut producer, slot, stage_cost, nic_cost);
+        let staged =
+            thief
+                .rt
+                .stage_with(now, &mut self.ic, &mut producer, slot, stage_cost, nic_cost);
         if staged {
             self.diag.steals += 1;
         }
@@ -858,7 +869,10 @@ impl SchedSim {
         let slot = self.local_slot(cpu);
         let mut cost = SimTime::ZERO;
         // §5.3.2: flush the stale view, then read.
-        cost += self.shards[si].rt.slots().host_invalidate(now, &mut self.ic, slot);
+        cost += self.shards[si]
+            .rt
+            .slots()
+            .host_invalidate(now, &mut self.ic, slot);
         let (c, got) = self.shards[si]
             .rt
             .slots()
@@ -1004,7 +1018,10 @@ impl SchedSim {
         let mut cost = SimTime::ZERO;
         // Read the staged replacement: flush + fresh read (no prefetch
         // benefit on this path, §7.2.2).
-        cost += self.shards[si].rt.slots().host_invalidate(now, &mut self.ic, slot);
+        cost += self.shards[si]
+            .rt
+            .slots()
+            .host_invalidate(now, &mut self.ic, slot);
         let (c, got) = self.shards[si]
             .rt
             .slots()
@@ -1045,7 +1062,10 @@ impl SchedSim {
             // Tell the agent the thread is runnable again.
             cost += self.cfg.cost.kernel_event();
             let msg = SchedMsg::new(tid, SchedMsgKind::Preempted, Some(cpu));
-            if let Some(c) = self.shards[si].rt.host_try_send(now + cost, &mut self.ic, msg) {
+            if let Some(c) = self.shards[si]
+                .rt
+                .host_try_send(now + cost, &mut self.ic, msg)
+            {
                 cost += c;
                 cost += self.shards[si].rt.host_flush(now + cost, &mut self.ic);
                 self.schedule_agent_pump(sim, si, now + cost + self.ic.one_way());
@@ -1086,7 +1106,10 @@ impl SchedSim {
         // blocked/dead message — that ~1 µs of useful work hides the
         // prefetch fill.
         if self.cfg.opts.prefetch {
-            cost += self.shards[si].rt.slots().host_prefetch(now, &mut self.ic, slot);
+            cost += self.shards[si]
+                .rt
+                .slots()
+                .host_prefetch(now, &mut self.ic, slot);
         }
         cost += self.cfg.cost.kernel_event();
         let msg = SchedMsg::new(tid, SchedMsgKind::Dead, Some(cpu));

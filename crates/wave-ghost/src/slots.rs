@@ -111,7 +111,10 @@ mod tests {
         s.stage(SimTime::from_ns(500), &mut ic, SlotId(0), decision(3));
         let (_c, got) = s.host_consume(SimTime::from_us(1), &mut ic, SlotId(0));
         assert!(got.is_none(), "prestage raced the prefetch; host must miss");
-        assert!(s.is_staged(SlotId(0)), "decision stays staged for the MSI-X path");
+        assert!(
+            s.is_staged(SlotId(0)),
+            "decision stays staged for the MSI-X path"
+        );
     }
 
     #[test]

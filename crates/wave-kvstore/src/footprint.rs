@@ -210,7 +210,10 @@ mod tests {
             }
         }
         let after = f.resident_bytes();
-        assert!(after < before / 3, "cold demotion must cut ~79%: {after} vs {before}");
+        assert!(
+            after < before / 3,
+            "cold demotion must cut ~79%: {after} vs {before}"
+        );
         let frac = after as f64 / before as f64;
         assert!((frac - 0.209).abs() < 0.03, "frac {frac}");
     }

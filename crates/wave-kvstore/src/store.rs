@@ -127,11 +127,7 @@ impl Db {
                 // Scan up to `arg` keys from `key`; the result is the
                 // concatenation length only (results are large; the
                 // experiments never materialize them).
-                let n = self
-                    .data
-                    .range(req.key..)
-                    .take(req.arg as usize)
-                    .count() as u64;
+                let n = self.data.range(req.key..).take(req.arg as usize).count() as u64;
                 (Some(n.to_le_bytes().to_vec()), self.cfg.range_service)
             }
             RequestKind::Put => {
@@ -164,9 +160,17 @@ mod tests {
     fn execute_costs_match_config() {
         let mut db = Db::new(DbConfig::default());
         db.populate(100);
-        let (_, c) = db.execute(&Request { kind: RequestKind::Get, key: 5, arg: 0 });
+        let (_, c) = db.execute(&Request {
+            kind: RequestKind::Get,
+            key: 5,
+            arg: 0,
+        });
         assert_eq!(c, SimTime::from_us(10));
-        let (_, c) = db.execute(&Request { kind: RequestKind::Range, key: 0, arg: 10 });
+        let (_, c) = db.execute(&Request {
+            kind: RequestKind::Range,
+            key: 0,
+            arg: 10,
+        });
         assert_eq!(c, SimTime::from_ms(10));
     }
 
@@ -174,7 +178,11 @@ mod tests {
     fn range_counts_keys() {
         let mut db = Db::new(DbConfig::default());
         db.populate(100);
-        let (v, _) = db.execute(&Request { kind: RequestKind::Range, key: 90, arg: 50 });
+        let (v, _) = db.execute(&Request {
+            kind: RequestKind::Range,
+            key: 90,
+            arg: 50,
+        });
         let n = u64::from_le_bytes(v.unwrap().try_into().unwrap());
         assert_eq!(n, 10);
     }
@@ -183,8 +191,16 @@ mod tests {
     fn counters() {
         let mut db = Db::new(DbConfig::default());
         db.populate(10);
-        let _ = db.execute(&Request { kind: RequestKind::Get, key: 1, arg: 0 });
-        let _ = db.execute(&Request { kind: RequestKind::Put, key: 11, arg: 2 });
+        let _ = db.execute(&Request {
+            kind: RequestKind::Get,
+            key: 1,
+            arg: 0,
+        });
+        let _ = db.execute(&Request {
+            kind: RequestKind::Put,
+            key: 11,
+            arg: 2,
+        });
         let (g, r, p) = db.op_counts();
         assert_eq!((g, r, p), (1, 0, 11)); // populate counts as puts
     }

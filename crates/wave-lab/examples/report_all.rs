@@ -18,6 +18,7 @@ fn main() {
     fig6::report(&fig6::Fig6Config::multi_queue_quick()).print();
     upi::report(&upi::UpiConfig::quick()).print();
     mem::duration_report().print();
+    mem::runtime_iteration_report().print();
     mem::footprint_report(&mem::FootprintExperiment::quick()).print();
     scaling::report(&scaling::ScalingConfig::quick()).print();
     println!("\nall experiments regenerated in {:.1?}", t0.elapsed());

@@ -73,9 +73,23 @@ fn avg_work(cfg: &Fig5Config, n: u32, ticks_enabled: bool) -> f64 {
     let single = active_physical - dual;
     let mut total = 0.0;
     total += single as f64
-        * vcpu_work_rate(&cfg.turbo, &cfg.ticks, &cfg.smt, active_physical, false, ticks_enabled);
+        * vcpu_work_rate(
+            &cfg.turbo,
+            &cfg.ticks,
+            &cfg.smt,
+            active_physical,
+            false,
+            ticks_enabled,
+        );
     total += (2 * dual) as f64
-        * vcpu_work_rate(&cfg.turbo, &cfg.ticks, &cfg.smt, active_physical, true, ticks_enabled);
+        * vcpu_work_rate(
+            &cfg.turbo,
+            &cfg.ticks,
+            &cfg.smt,
+            active_physical,
+            true,
+            ticks_enabled,
+        );
     total / n as f64
 }
 
@@ -131,7 +145,13 @@ mod tests {
         let r = report(&Fig5Config::paper());
         for row in &r.rows {
             let err = (row.measured - row.paper).abs();
-            assert!(err < 1.0, "{}: {} vs {}", row.label, row.measured, row.paper);
+            assert!(
+                err < 1.0,
+                "{}: {} vs {}",
+                row.label,
+                row.measured,
+                row.paper
+            );
         }
     }
 

@@ -12,7 +12,9 @@ use rand::Rng;
 use serde::Serialize;
 use wave_kvstore::{AccessPattern, DbFootprint, FootprintConfig};
 use wave_memmgr::runner::duration_table;
-use wave_memmgr::{SolConfig, SolPolicy};
+use wave_memmgr::{RunnerConfig, SolConfig, SolPolicy, SolRunner};
+use wave_pcie::Interconnect;
+use wave_sim::cpu::{CoreClass, CpuModel};
 use wave_sim::stats::Histogram;
 use wave_sim::SimTime;
 
@@ -30,10 +32,81 @@ pub fn duration_report() -> Report {
     let table = duration_table(&[1, 2, 4, 8, 16]);
     let mut r = Report::new("§7.4.2: SOL per-iteration duration (ms)");
     for ((cores, wave, onhost), (_, pw, po)) in table.into_iter().zip(paper) {
-        r.push(PaperRow::new(format!("wave, {cores} cores"), pw, wave, "ms"));
-        r.push(PaperRow::new(format!("on-host, {cores} cores"), po, onhost, "ms"));
+        r.push(PaperRow::new(
+            format!("wave, {cores} cores"),
+            pw,
+            wave,
+            "ms",
+        ));
+        r.push(PaperRow::new(
+            format!("on-host, {cores} cores"),
+            po,
+            onhost,
+            "ms",
+        ));
     }
     r.note("two-phase model: serial memory-bound scan + parallel compute-bound classification; endpoints fitted, mid-points emergent");
+    r
+}
+
+/// Builds the runtime-backed iteration report: one real SOL iteration
+/// driven through the shared `AgentRuntime` (DMA ingest, slot staging,
+/// batched decision ship-back), with its leg-by-leg breakdown checked
+/// against the closed-form cost model — the two must agree exactly.
+pub fn runtime_iteration_report() -> Report {
+    let fp = DbFootprint::new(FootprintConfig::paper(0.002), AccessPattern::Scattered, 42);
+    let mut policy = SolPolicy::new(SolConfig::paper(), fp.batches());
+    let mut runner = SolRunner::new(
+        RunnerConfig::paper(CoreClass::NicArm, 16),
+        CpuModel::mount_evans(),
+    );
+    let mut ic = Interconnect::pcie();
+    let mut rng = wave_sim::rng(42);
+    let (stats, cost) = runner.run_iteration(&mut ic, &mut policy, &fp, SimTime::ZERO, &mut rng);
+    let model = SolRunner::new(
+        RunnerConfig::paper(CoreClass::NicArm, 16),
+        CpuModel::mount_evans(),
+    )
+    .iteration_cost(&mut Interconnect::pcie(), fp.batches() as u64);
+
+    let mut r = Report::new("§4.2: SOL on the shared agent runtime (one iteration)");
+    let us = |t: SimTime| t.as_us_f64();
+    r.push(PaperRow::new(
+        "dma_in (PTE deltas)",
+        us(model.dma_in),
+        us(cost.dma_in),
+        "us",
+    ));
+    r.push(PaperRow::new(
+        "scan (serial)",
+        us(model.scan),
+        us(cost.scan),
+        "us",
+    ));
+    r.push(PaperRow::new(
+        "classify (parallel)",
+        us(model.classify),
+        us(cost.classify),
+        "us",
+    ));
+    r.push(PaperRow::new(
+        "dma_out (decisions)",
+        us(model.dma_out),
+        us(cost.dma_out),
+        "us",
+    ));
+    r.push(PaperRow::new(
+        "total",
+        us(model.total()),
+        us(cost.total()),
+        "us",
+    ));
+    r.note(format!(
+        "runtime legs vs closed-form model (ratio must be 1.000); {} batches scanned, {} migration decisions staged+shipped",
+        stats.scanned,
+        runner.shipped_decisions()
+    ));
+    r.note("same AgentRuntime as the scheduler, bound to the DMA transport (delta-compressed ingest, batched slot-consume)");
     r
 }
 
@@ -147,7 +220,12 @@ pub fn footprint_report(cfg: &FootprintExperiment) -> Report {
         (1.0 - res.end_fraction / res.start_fraction) * 100.0,
         "%",
     ));
-    r.push(PaperRow::new("GET median latency", 12.0, res.get_p50_us, "us"));
+    r.push(PaperRow::new(
+        "GET median latency",
+        12.0,
+        res.get_p50_us,
+        "us",
+    ));
     r.push(PaperRow::new("GET p99 latency", 31.0, res.get_p99_us, "us"));
     r.note(format!(
         "classification accuracy {:.1}%; resident fraction {:.3}",
@@ -173,8 +251,26 @@ mod tests {
     #[test]
     fn get_latency_mostly_unaffected() {
         let res = run_footprint(&FootprintExperiment::quick());
-        assert!((10.0..=16.0).contains(&res.get_p50_us), "p50 {}", res.get_p50_us);
+        assert!(
+            (10.0..=16.0).contains(&res.get_p50_us),
+            "p50 {}",
+            res.get_p50_us
+        );
         assert!(res.get_p99_us < 40.0, "p99 {}", res.get_p99_us);
+    }
+
+    #[test]
+    fn runtime_iteration_report_legs_match_model_exactly() {
+        let r = runtime_iteration_report();
+        assert_eq!(r.rows.len(), 5);
+        for row in &r.rows {
+            assert_eq!(
+                row.ratio(),
+                1.0,
+                "{}: runtime leg diverged from model",
+                row.label
+            );
+        }
     }
 
     #[test]
@@ -182,7 +278,12 @@ mod tests {
         let r = duration_report();
         assert_eq!(r.rows.len(), 10);
         for row in &r.rows {
-            assert!((0.8..=1.25).contains(&row.ratio()), "{}: {}", row.label, row.ratio());
+            assert!(
+                (0.8..=1.25).contains(&row.ratio()),
+                "{}: {}",
+                row.label,
+                row.ratio()
+            );
         }
     }
 }

@@ -183,7 +183,11 @@ mod tests {
     /// un-optimized DES stays fast; the release CI smoke run and the
     /// bench use the longer one.
     fn test_cfg() -> ScalingConfig {
-        let (dur_ms, warm_ms) = if cfg!(debug_assertions) { (18, 3) } else { (50, 10) };
+        let (dur_ms, warm_ms) = if cfg!(debug_assertions) {
+            (18, 3)
+        } else {
+            (50, 10)
+        };
         ScalingConfig {
             duration: SimTime::from_ms(dur_ms),
             warmup: SimTime::from_ms(warm_ms),

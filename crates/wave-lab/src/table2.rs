@@ -58,12 +58,42 @@ pub fn run() -> Table2 {
 pub fn report() -> Report {
     let m = run();
     let mut r = Report::new("Table 2: hardware microbenchmarks");
-    r.push(PaperRow::new("host MMIO 64-bit read (UC)", 750.0, m.mmio_read as f64, "ns"));
-    r.push(PaperRow::new("host MMIO 64-bit write (UC)", 50.0, m.mmio_write as f64, "ns"));
-    r.push(PaperRow::new("MSI-X send (register write)", 70.0, m.msix_send_register as f64, "ns"));
-    r.push(PaperRow::new("MSI-X send (ioctl + register)", 340.0, m.msix_send_ioctl as f64, "ns"));
-    r.push(PaperRow::new("MSI-X receive", 350.0, m.msix_receive as f64, "ns"));
-    r.push(PaperRow::new("MSI-X end-to-end", 1_600.0, m.msix_end_to_end as f64, "ns"));
+    r.push(PaperRow::new(
+        "host MMIO 64-bit read (UC)",
+        750.0,
+        m.mmio_read as f64,
+        "ns",
+    ));
+    r.push(PaperRow::new(
+        "host MMIO 64-bit write (UC)",
+        50.0,
+        m.mmio_write as f64,
+        "ns",
+    ));
+    r.push(PaperRow::new(
+        "MSI-X send (register write)",
+        70.0,
+        m.msix_send_register as f64,
+        "ns",
+    ));
+    r.push(PaperRow::new(
+        "MSI-X send (ioctl + register)",
+        340.0,
+        m.msix_send_ioctl as f64,
+        "ns",
+    ));
+    r.push(PaperRow::new(
+        "MSI-X receive",
+        350.0,
+        m.msix_receive as f64,
+        "ns",
+    ));
+    r.push(PaperRow::new(
+        "MSI-X end-to-end",
+        1_600.0,
+        m.msix_end_to_end as f64,
+        "ns",
+    ));
     r.note("interconnect model calibrated to these anchors; the table verifies the mechanisms reproduce them");
     r
 }

@@ -29,11 +29,7 @@ mod tests {
         assert_eq!(r.rows.len(), 9);
         for row in &r.rows {
             let ratio = row.ratio();
-            assert!(
-                (0.8..=1.2).contains(&ratio),
-                "{} ratio {ratio}",
-                row.label
-            );
+            assert!((0.8..=1.2).contains(&ratio), "{} ratio {ratio}", row.label);
         }
     }
 }

@@ -168,9 +168,24 @@ pub fn report(cfg: &UpiConfig) -> Report {
     let res = run(cfg);
     let slowdown = |x: f64| (1.0 - x / res.onhost) * 100.0;
     let mut r = Report::new("§7.3.3: coherent-interconnect (UPI) emulation");
-    r.push(PaperRow::new("slowdown @ 3 GHz", 1.3, slowdown(res.upi_3ghz), "%"));
-    r.push(PaperRow::new("slowdown @ 2.5 GHz", 2.5, slowdown(res.upi_2_5ghz), "%"));
-    r.push(PaperRow::new("slowdown @ 2 GHz", 3.5, slowdown(res.upi_2ghz), "%"));
+    r.push(PaperRow::new(
+        "slowdown @ 3 GHz",
+        1.3,
+        slowdown(res.upi_3ghz),
+        "%",
+    ));
+    r.push(PaperRow::new(
+        "slowdown @ 2.5 GHz",
+        2.5,
+        slowdown(res.upi_2_5ghz),
+        "%",
+    ));
+    r.push(PaperRow::new(
+        "slowdown @ 2 GHz",
+        3.5,
+        slowdown(res.upi_2ghz),
+        "%",
+    ));
     r.push(PaperRow::new(
         "UPI gain over PCIe @ 3 GHz",
         0.9,

@@ -12,16 +12,20 @@
 //! * [`sol`] — the SOL policy proper: per-batch Beta posterior, Thompson
 //!   classification, the scan-frequency ladder, epoch migration. Runs
 //!   for real against the [`wave_kvstore::DbFootprint`] workload model.
-//! * [`runner`] — on-host vs. offloaded execution: the two-phase cost
-//!   model (serial memory-bound scan + parallel compute-bound
+//! * [`runner`] — on-host vs. offloaded execution on the shared
+//!   [`wave_core::runtime::AgentRuntime`] (DMA transport): the two-phase
+//!   cost model (serial memory-bound scan + parallel compute-bound
 //!   classification) whose constants are derived in closed form from the
-//!   paper's §7.4.2 duration table, plus the DMA shipping of PTEs, plus
-//!   a real multi-threaded classification executor.
+//!   paper's §7.4.2 duration table, the DMA shipping of PTE deltas in
+//!   and migration decisions out, plus a real multi-threaded
+//!   classification executor.
 
 pub mod pagetable;
 pub mod runner;
 pub mod sol;
 
 pub use pagetable::{AddressSpace, BatchId, PageFlags};
-pub use runner::{IterationCost, RunnerConfig, SolRunner};
+pub use runner::{
+    IterationCost, MigrationDecision, MigrationStager, PteDelta, RunnerConfig, SolRunner,
+};
 pub use sol::{SolConfig, SolPolicy, SolStats};

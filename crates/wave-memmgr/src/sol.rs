@@ -84,6 +84,9 @@ pub struct SolPolicy {
     cfg: SolConfig,
     batches: Vec<BatchState>,
     last_epoch: SimTime,
+    /// Classification flips observed by the most recent iteration —
+    /// the migration decisions the agent stages back to the host.
+    flips: Vec<(usize, bool)>,
 }
 
 impl SolPolicy {
@@ -104,6 +107,7 @@ impl SolPolicy {
                 n
             ],
             last_epoch: SimTime::ZERO,
+            flips: Vec::new(),
         }
     }
 
@@ -136,13 +140,32 @@ impl SolPolicy {
     /// Runs one policy iteration at `now` against the workload's access
     /// pattern: scan due batches, update posteriors, Thompson-classify,
     /// and adapt scan frequencies. Returns iteration statistics.
-    pub fn iterate(&mut self, now: SimTime, workload: &DbFootprint, rng: &mut SmallRng) -> SolStats {
+    pub fn iterate(
+        &mut self,
+        now: SimTime,
+        workload: &DbFootprint,
+        rng: &mut SmallRng,
+    ) -> SolStats {
         let due = self.due_batches(now);
+        self.iterate_batches(now, &due, workload, rng)
+    }
+
+    /// Like [`SolPolicy::iterate`], but scans an explicit batch list —
+    /// the agent-side entry point, fed by the PTE deltas polled off the
+    /// runtime's DMA ingest leg rather than recomputed locally.
+    pub fn iterate_batches(
+        &mut self,
+        now: SimTime,
+        due: &[usize],
+        workload: &DbFootprint,
+        rng: &mut SmallRng,
+    ) -> SolStats {
+        self.flips.clear();
         let mut stats = SolStats {
             scanned: due.len() as u64,
             ..SolStats::default()
         };
-        for i in due {
+        for &i in due {
             let touched = workload.sample_access(i, rng);
             let b = &mut self.batches[i];
             if touched {
@@ -152,7 +175,11 @@ impl SolPolicy {
             }
             b.scans += 1;
             let theta = Beta::new(b.alpha, b.beta).sample(rng);
+            let was_hot = b.classified_hot;
             b.classified_hot = theta > self.cfg.hot_threshold;
+            if b.classified_hot != was_hot {
+                self.flips.push((i, b.classified_hot));
+            }
             // Frequency adaptation: confident batches scan slower;
             // uncertain ones stay fast (the overhead-reduction loop the
             // paper describes).
@@ -174,6 +201,13 @@ impl SolPolicy {
             }
         }
         stats
+    }
+
+    /// Classification flips from the most recent iteration, in scan
+    /// order: `(batch, now_hot)`. These are what the agent stages into
+    /// its decision slots and ships back to the host (§4.2).
+    pub fn flips(&self) -> &[(usize, bool)] {
+        &self.flips
     }
 
     /// Whether an epoch boundary has passed since the last migration.
@@ -298,6 +332,29 @@ mod tests {
     }
 
     #[test]
+    fn iterate_batches_matches_iterate_and_reports_flips() {
+        // Two policies, same seed: one driven by the internal due list,
+        // one by the explicit batch list — identical evolution.
+        let (fp, mut a, mut rng_a) = small_world();
+        let (_, mut b, mut rng_b) = small_world();
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            let sa = a.iterate(now, &fp, &mut rng_a);
+            let due = b.due_batches(now);
+            let sb = b.iterate_batches(now, &due, &fp, &mut rng_b);
+            assert_eq!(sa, sb);
+            assert_eq!(a.flips(), b.flips());
+            now += SimTime::from_ms(600);
+        }
+        // First iteration from a fresh start must flip some optimistic
+        // hot classifications to cold.
+        let (fp, mut c, mut rng) = small_world();
+        c.iterate(SimTime::ZERO, &fp, &mut rng);
+        assert!(!c.flips().is_empty());
+        assert!(c.flips().iter().all(|&(_, hot)| !hot), "hot -> cold only");
+    }
+
+    #[test]
     fn posterior_moves_with_evidence() {
         let cfg = FootprintConfig::paper(0.002);
         let fp = DbFootprint::new(cfg, AccessPattern::Clustered, 3);
@@ -309,7 +366,15 @@ mod tests {
             let now = SimTime::from_ms(600 * (step + 1) * 16); // all due
             policy.iterate(now, &fp, &mut rng);
         }
-        assert!(policy.posterior_mean(0) > 0.7, "{}", policy.posterior_mean(0));
-        assert!(policy.posterior_mean(last) < 0.3, "{}", policy.posterior_mean(last));
+        assert!(
+            policy.posterior_mean(0) > 0.7,
+            "{}",
+            policy.posterior_mean(0)
+        );
+        assert!(
+            policy.posterior_mean(last) < 0.3,
+            "{}",
+            policy.posterior_mean(last)
+        );
     }
 }

@@ -244,7 +244,10 @@ mod tests {
         let c = PcieConfig::pcie();
         let wire_bytes = 21_000_000;
         let d = c.dma_duration(wire_bytes);
-        assert!(d >= SimTime::from_us(900) && d <= SimTime::from_us(1_200), "{d}");
+        assert!(
+            d >= SimTime::from_us(900) && d <= SimTime::from_us(1_200),
+            "{d}"
+        );
     }
 
     #[test]

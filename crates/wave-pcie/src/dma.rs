@@ -162,17 +162,44 @@ mod tests {
         // The iPipe observation: async DMA frees the initiating core.
         let mut e1 = engine();
         let mut e2 = engine();
-        let a = e1.transfer(SimTime::ZERO, 1 << 20, DmaDirection::HostToNic, DmaMode::Async, Side::Host);
-        let s = e2.transfer(SimTime::ZERO, 1 << 20, DmaDirection::HostToNic, DmaMode::Sync, Side::Host);
+        let a = e1.transfer(
+            SimTime::ZERO,
+            1 << 20,
+            DmaDirection::HostToNic,
+            DmaMode::Async,
+            Side::Host,
+        );
+        let s = e2.transfer(
+            SimTime::ZERO,
+            1 << 20,
+            DmaDirection::HostToNic,
+            DmaMode::Sync,
+            Side::Host,
+        );
         assert!(s.initiator_cpu.as_ns() > 5 * a.initiator_cpu.as_ns());
     }
 
     #[test]
     fn engine_serializes_transfers() {
         let mut e = engine();
-        let t1 = e.transfer(SimTime::ZERO, 1 << 20, DmaDirection::HostToNic, DmaMode::Async, Side::Host);
-        let t2 = e.transfer(SimTime::ZERO, 64, DmaDirection::HostToNic, DmaMode::Async, Side::Host);
-        assert!(t2.complete_at > t1.complete_at, "second transfer queues behind first");
+        let t1 = e.transfer(
+            SimTime::ZERO,
+            1 << 20,
+            DmaDirection::HostToNic,
+            DmaMode::Async,
+            Side::Host,
+        );
+        let t2 = e.transfer(
+            SimTime::ZERO,
+            64,
+            DmaDirection::HostToNic,
+            DmaMode::Async,
+            Side::Host,
+        );
+        assert!(
+            t2.complete_at > t1.complete_at,
+            "second transfer queues behind first"
+        );
         assert_eq!(e.transfers(), 2);
         assert_eq!(e.bytes_moved(), (1 << 20) + 64);
     }
@@ -182,10 +209,22 @@ mod tests {
         // Doubling bytes should roughly double transfer time for large
         // payloads.
         let mut e = engine();
-        let t1 = e.transfer(SimTime::ZERO, 10 << 20, DmaDirection::HostToNic, DmaMode::Async, Side::Host);
+        let t1 = e.transfer(
+            SimTime::ZERO,
+            10 << 20,
+            DmaDirection::HostToNic,
+            DmaMode::Async,
+            Side::Host,
+        );
         let d1 = t1.complete_at;
         let mut e = engine();
-        let t2 = e.transfer(SimTime::ZERO, 20 << 20, DmaDirection::HostToNic, DmaMode::Async, Side::Host);
+        let t2 = e.transfer(
+            SimTime::ZERO,
+            20 << 20,
+            DmaDirection::HostToNic,
+            DmaMode::Async,
+            Side::Host,
+        );
         let d2 = t2.complete_at;
         let ratio = d2.as_ns() as f64 / d1.as_ns() as f64;
         assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");

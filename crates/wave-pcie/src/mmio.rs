@@ -368,7 +368,10 @@ impl HostMmio {
                         visible_at: Some(now + cpu + SimTime::from_ns(one_way)),
                     }
                 } else {
-                    WriteOutcome { cpu, visible_at: None }
+                    WriteOutcome {
+                        cpu,
+                        visible_at: None,
+                    }
                 }
             }
         };

@@ -130,12 +130,7 @@ mod tests {
     #[test]
     fn ioctl_path_costs_more() {
         let mut ctl = MsixController::new(PcieConfig::pcie());
-        let d = ctl.send(
-            SimTime::ZERO,
-            MsixVector(3),
-            MsixSendPath::Ioctl,
-            Side::Nic,
-        );
+        let d = ctl.send(SimTime::ZERO, MsixVector(3), MsixSendPath::Ioctl, Side::Nic);
         assert_eq!(d.sender_cpu, SimTime::from_ns(340));
         assert_eq!(d.handler_at, SimTime::from_ns(340 + 1_180 + 350));
     }
@@ -143,8 +138,18 @@ mod tests {
     #[test]
     fn host_side_ipi_is_faster() {
         let mut ctl = MsixController::new(PcieConfig::pcie());
-        let nic = ctl.send(SimTime::ZERO, MsixVector(0), MsixSendPath::Register, Side::Nic);
-        let host = ctl.send(SimTime::ZERO, MsixVector(0), MsixSendPath::Register, Side::Host);
+        let nic = ctl.send(
+            SimTime::ZERO,
+            MsixVector(0),
+            MsixSendPath::Register,
+            Side::Nic,
+        );
+        let host = ctl.send(
+            SimTime::ZERO,
+            MsixVector(0),
+            MsixSendPath::Register,
+            Side::Host,
+        );
         assert!(host.handler_at < nic.handler_at);
     }
 

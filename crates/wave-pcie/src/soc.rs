@@ -74,11 +74,12 @@ mod tests {
         // Decision open = write one 8-word line + ioctl MSI-X send.
         let cfg = PcieConfig::pcie();
         let mut soc = NicSoc::new(cfg.clone());
-        let uc_total =
-            soc.access(SocPteMode::Uncached, 8).as_ns() + cfg.msix_send_ioctl_ns;
-        let wb_total =
-            soc.access(SocPteMode::WriteBack, 8).as_ns() + cfg.msix_send_ioctl_ns;
-        assert!((uc_total as i64 - 1_013).unsigned_abs() < 40, "uc {uc_total}");
+        let uc_total = soc.access(SocPteMode::Uncached, 8).as_ns() + cfg.msix_send_ioctl_ns;
+        let wb_total = soc.access(SocPteMode::WriteBack, 8).as_ns() + cfg.msix_send_ioctl_ns;
+        assert!(
+            (uc_total as i64 - 1_013).unsigned_abs() < 40,
+            "uc {uc_total}"
+        );
         assert!((wb_total as i64 - 426).unsigned_abs() < 40, "wb {wb_total}");
     }
 }

@@ -148,6 +148,10 @@ pub struct WaveQueue<T> {
     head_publish_interval: u64,
     /// Pops since last publish.
     pops_since_publish: u64,
+    /// Wire bytes each entry occupies in a DMA batch, when the stream is
+    /// compressed in flight (e.g. the memory manager's delta-compressed
+    /// PTE stream, §4.2). `None` means raw entries (`entry_words × 8`).
+    wire_bytes_per_entry: Option<u64>,
     stats: QueueStats,
 }
 
@@ -192,8 +196,17 @@ impl<T> WaveQueue<T> {
             published_head: 0,
             head_publish_interval: (capacity / 4).max(1),
             pops_since_publish: 0,
+            wire_bytes_per_entry: None,
             stats: QueueStats::default(),
         }
+    }
+
+    /// Declares that entries are compressed to `bytes` each on the wire
+    /// when shipped by DMA (the delta-compression of §4.2's PTE stream).
+    /// A compressed batch still pays a 64-byte minimum payload per
+    /// [`WaveQueue::flush`]. Ignored for MMIO transports.
+    pub fn set_wire_bytes_per_entry(&mut self, bytes: Option<u64>) {
+        self.wire_bytes_per_entry = bytes;
     }
 
     /// The queue's direction.
@@ -254,10 +267,18 @@ impl<T> WaveQueue<T> {
     /// payload is handed back in the [`Rejected`] so callers can call
     /// [`WaveQueue::sync_credits`] and retry, or treat it as
     /// backpressure.
-    pub fn push(&mut self, now: SimTime, ic: &mut Interconnect, payload: T) -> Result<PushOutcome, Rejected<T>> {
+    pub fn push(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        payload: T,
+    ) -> Result<PushOutcome, Rejected<T>> {
         if self.credits == 0 {
             self.stats.full_rejections += 1;
-            return Err(Rejected { error: PushError::Full, payload });
+            return Err(Rejected {
+                error: PushError::Full,
+                payload,
+            });
         }
         self.credits -= 1;
         let index = self.tail;
@@ -327,7 +348,10 @@ impl<T> WaveQueue<T> {
                 if pending.is_empty() {
                     return SimTime::ZERO;
                 }
-                let bytes = pending.len() as u64 * self.entry_words * 8;
+                let bytes = match self.wire_bytes_per_entry {
+                    Some(w) => (pending.len() as u64 * w).max(64),
+                    None => pending.len() as u64 * self.entry_words * 8,
+                };
                 let dir = match self.dir {
                     Direction::HostToNic => DmaDirection::HostToNic,
                     Direction::NicToHost => DmaDirection::NicToHost,
@@ -464,7 +488,12 @@ impl<T> WaveQueue<T> {
     /// Flushes the host's cached view of the next entries (`clflush`,
     /// §5.3.2). Called by the host when it *knows* fresh data exists
     /// (e.g. on MSI-X receipt). Returns the CPU cost.
-    pub fn invalidate_head(&mut self, now: SimTime, ic: &mut Interconnect, entries: u64) -> SimTime {
+    pub fn invalidate_head(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        entries: u64,
+    ) -> SimTime {
         let mut cpu = SimTime::ZERO;
         for i in 0..entries {
             let line = self.entry_line(self.head + i);
@@ -658,6 +687,46 @@ mod tests {
     }
 
     #[test]
+    fn wire_compression_shrinks_dma_batches() {
+        let mk = |ic: &mut Interconnect, wire: Option<u64>| {
+            let mut q = WaveQueue::<u64>::new(
+                ic,
+                Direction::HostToNic,
+                Transport::Dma(DmaMode::Async),
+                1024,
+                8,
+                PteType::Uncacheable,
+                SocPteMode::WriteBack,
+            );
+            q.set_wire_bytes_per_entry(wire);
+            q
+        };
+        // 100 compressed entries move fewer bytes than 100 raw ones.
+        let mut ic_raw = Interconnect::pcie();
+        let mut raw = mk(&mut ic_raw, None);
+        let mut ic_cmp = Interconnect::pcie();
+        let mut cmp = mk(&mut ic_cmp, Some(8));
+        for v in 0..100u64 {
+            raw.push(SimTime::ZERO, &mut ic_raw, v).unwrap();
+            cmp.push(SimTime::ZERO, &mut ic_cmp, v).unwrap();
+        }
+        raw.flush(SimTime::ZERO, &mut ic_raw);
+        cmp.flush(SimTime::ZERO, &mut ic_cmp);
+        assert_eq!(ic_raw.dma.bytes_moved(), 100 * 8 * 8);
+        assert_eq!(ic_cmp.dma.bytes_moved(), 100 * 8);
+        assert!(ic_cmp.dma.busy_until() < ic_raw.dma.busy_until());
+        // All entries still arrive intact.
+        let got = cmp.poll_nic(ic_cmp.dma.busy_until(), &mut ic_cmp, 256);
+        assert_eq!(got.items.len(), 100);
+        // A single compressed entry pays the 64-byte minimum payload.
+        let mut ic_min = Interconnect::pcie();
+        let mut min = mk(&mut ic_min, Some(8));
+        min.push(SimTime::ZERO, &mut ic_min, 1).unwrap();
+        min.flush(SimTime::ZERO, &mut ic_min);
+        assert_eq!(ic_min.dma.bytes_moved(), 64);
+    }
+
+    #[test]
     fn dma_sync_blocks_producer() {
         let mut ic = Interconnect::pcie();
         let mut q = WaveQueue::<u64>::new(
@@ -691,16 +760,25 @@ mod tests {
         for v in 0..4 {
             q.push(SimTime::ZERO, &mut ic, v).unwrap();
         }
-        assert_eq!(q.push(SimTime::ZERO, &mut ic, 9).unwrap_err().error, PushError::Full);
+        assert_eq!(
+            q.push(SimTime::ZERO, &mut ic, 9).unwrap_err().error,
+            PushError::Full
+        );
         assert_eq!(q.stats().full_rejections, 1);
         // Consumer drains everything; head publishes every capacity/4=1
         // pops.
         let out = q.poll_nic(SimTime::from_us(10), &mut ic, 16);
         assert_eq!(out.items.len(), 4);
         // Producer still thinks it's full until it syncs credits.
-        assert_eq!(q.push(SimTime::from_us(11), &mut ic, 9).unwrap_err().error, PushError::Full);
+        assert_eq!(
+            q.push(SimTime::from_us(11), &mut ic, 9).unwrap_err().error,
+            PushError::Full
+        );
         let sync_cpu = q.sync_credits(SimTime::from_us(11), &mut ic);
-        assert!(sync_cpu >= SimTime::from_ns(750), "head sync is an MMIO read");
+        assert!(
+            sync_cpu >= SimTime::from_ns(750),
+            "head sync is an MMIO read"
+        );
         q.push(SimTime::from_us(12), &mut ic, 9).unwrap();
     }
 

@@ -120,7 +120,8 @@ impl Fig6Scenario {
     pub fn sched_config_sharded(self, kind: SchedulerKind, agents: u32) -> SchedConfig {
         let pcie = PcieConfig::pcie();
         let stack = self.stack();
-        let mut cfg = SchedConfig::new(self.workers(), self.scheduler_placement(), OptLevel::full());
+        let mut cfg =
+            SchedConfig::new(self.workers(), self.scheduler_placement(), OptLevel::full());
         cfg.agents = agents;
         cfg.mix = ServiceMix::paper_bimodal();
         cfg.duration = SimTime::from_ms(600);
@@ -159,10 +160,10 @@ mod tests {
     #[test]
     fn onhost_schedule_pays_header_reads() {
         let pcie = PcieConfig::pcie();
-        let single = Fig6Scenario::OnHostSchedule
-            .agent_decision_extra(SchedulerKind::SingleQueue, &pcie);
-        let multi = Fig6Scenario::OnHostSchedule
-            .agent_decision_extra(SchedulerKind::MultiQueueSlo, &pcie);
+        let single =
+            Fig6Scenario::OnHostSchedule.agent_decision_extra(SchedulerKind::SingleQueue, &pcie);
+        let multi =
+            Fig6Scenario::OnHostSchedule.agent_decision_extra(SchedulerKind::MultiQueueSlo, &pcie);
         assert!(single >= SimTime::from_us(4));
         assert!(multi > single, "reading the SLO widens the gap");
         assert_eq!(

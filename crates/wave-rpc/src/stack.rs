@@ -88,9 +88,9 @@ impl StackModel {
         let entry_words = 16u64;
         match self.placement {
             RpcPlacement::Host => SimTime::from_ns(2 * 20),
-            RpcPlacement::Nic => SimTime::from_ns(
-                entry_words * pcie.mmio_write_wc_ns + pcie.wc_flush_ns,
-            ),
+            RpcPlacement::Nic => {
+                SimTime::from_ns(entry_words * pcie.mmio_write_wc_ns + pcie.wc_flush_ns)
+            }
         }
     }
 

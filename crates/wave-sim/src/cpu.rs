@@ -168,8 +168,14 @@ mod tests {
     #[test]
     fn host_is_unit_ratio() {
         let cpu = CpuModel::mount_evans();
-        assert_eq!(cpu.ratio(CoreClass::HostX86, WorkloadClass::ComputeBound), 1.0);
-        assert_eq!(cpu.ratio(CoreClass::HostX86, WorkloadClass::MemoryBound), 1.0);
+        assert_eq!(
+            cpu.ratio(CoreClass::HostX86, WorkloadClass::ComputeBound),
+            1.0
+        );
+        assert_eq!(
+            cpu.ratio(CoreClass::HostX86, WorkloadClass::MemoryBound),
+            1.0
+        );
     }
 
     #[test]

@@ -341,7 +341,9 @@ mod tests {
     fn step_limits_execution() {
         let mut sim = Sim::new();
         for i in 0..5 {
-            sim.schedule(SimTime::from_ns(i), move |m: &mut Log, _| m.0.push(i as u32));
+            sim.schedule(SimTime::from_ns(i), move |m: &mut Log, _| {
+                m.0.push(i as u32)
+            });
         }
         let mut log = Log::default();
         assert_eq!(sim.step(&mut log, 2), 2);

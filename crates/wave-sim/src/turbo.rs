@@ -48,18 +48,48 @@ impl TurboModel {
     pub fn zen3() -> Self {
         TurboModel {
             no_ticks: vec![
-                TurboBracket { max_active: 8, ghz: 3.50 },
-                TurboBracket { max_active: 16, ghz: 3.45 },
-                TurboBracket { max_active: 32, ghz: 3.40 },
-                TurboBracket { max_active: 48, ghz: 3.05 },
-                TurboBracket { max_active: 64, ghz: 2.75 },
+                TurboBracket {
+                    max_active: 8,
+                    ghz: 3.50,
+                },
+                TurboBracket {
+                    max_active: 16,
+                    ghz: 3.45,
+                },
+                TurboBracket {
+                    max_active: 32,
+                    ghz: 3.40,
+                },
+                TurboBracket {
+                    max_active: 48,
+                    ghz: 3.05,
+                },
+                TurboBracket {
+                    max_active: 64,
+                    ghz: 2.75,
+                },
             ],
             ticks: vec![
-                TurboBracket { max_active: 8, ghz: 3.20 },
-                TurboBracket { max_active: 16, ghz: 3.18 },
-                TurboBracket { max_active: 32, ghz: 3.15 },
-                TurboBracket { max_active: 48, ghz: 2.93 },
-                TurboBracket { max_active: 64, ghz: 2.75 },
+                TurboBracket {
+                    max_active: 8,
+                    ghz: 3.20,
+                },
+                TurboBracket {
+                    max_active: 16,
+                    ghz: 3.18,
+                },
+                TurboBracket {
+                    max_active: 32,
+                    ghz: 3.15,
+                },
+                TurboBracket {
+                    max_active: 48,
+                    ghz: 2.93,
+                },
+                TurboBracket {
+                    max_active: 64,
+                    ghz: 2.75,
+                },
             ],
             physical_cores: 64,
         }
@@ -77,7 +107,11 @@ impl TurboModel {
             "{active_physical} > {} physical cores",
             self.physical_cores
         );
-        let ladder = if ticks_enabled { &self.ticks } else { &self.no_ticks };
+        let ladder = if ticks_enabled {
+            &self.ticks
+        } else {
+            &self.no_ticks
+        };
         for bracket in ladder {
             if active_physical <= bracket.max_active {
                 return bracket.ghz;
@@ -196,7 +230,10 @@ mod tests {
         let at31 = imp(31, false);
         assert!((at31 - 0.097).abs() < 0.012, "31 vCPU improvement {at31}");
         let at128 = imp(64, true);
-        assert!((at128 - 0.017).abs() < 0.002, "128 vCPU improvement {at128}");
+        assert!(
+            (at128 - 0.017).abs() < 0.002,
+            "128 vCPU improvement {at128}"
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub fn run() {
 
     let reduction = (1.0 - fp.resident_fraction()) * 100.0;
     println!("\ntotal reduction: {reduction:.1}% (paper: 79%, ~102 GiB -> ~21.3 GiB)");
-    println!("scan-ladder mean rung: {:.2} (0 = 600ms, 4 = 9.6s)", policy.mean_rung());
+    println!(
+        "scan-ladder mean rung: {:.2} (0 = 600ms, 4 = 9.6s)",
+        policy.mean_rung()
+    );
 }
 
 fn main() {

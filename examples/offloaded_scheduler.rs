@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --release --example offloaded_scheduler`
 
+use wave::core::OptLevel;
 use wave::ghost::policies::FifoPolicy;
 use wave::ghost::sim::{Placement, SchedConfig, SchedSim};
-use wave::core::OptLevel;
 use wave::sim::SimTime;
 
 fn run_scenario(label: &str, workers: u32, placement: Placement) {
@@ -34,7 +34,9 @@ pub fn run() {
     run_scenario("Wave (15 cores)", 15, Placement::Offloaded);
     // ...then give the freed host core to the workload.
     run_scenario("Wave (16 cores)", 16, Placement::Offloaded);
-    println!("\nThe freed agent core buys Wave-16 its throughput edge (paper: +4.6% at saturation).");
+    println!(
+        "\nThe freed agent core buys Wave-16 its throughput edge (paper: +4.6% at saturation)."
+    );
 }
 
 fn main() {

@@ -7,7 +7,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use wave::core::{ChannelConfig, GenerationTable, MsixMode, OptLevel, TxnOutcomeRecord, WaveChannel};
+use wave::core::{
+    ChannelConfig, GenerationTable, MsixMode, OptLevel, TxnOutcomeRecord, WaveChannel,
+};
 use wave::pcie::{Interconnect, MsixVector};
 use wave::sim::SimTime;
 
@@ -36,14 +38,26 @@ pub fn run() {
 
     // ❷-❹ The agent polls, decides ("run thread 7"), and commits.
     let polled = ch.poll_messages(visible_at, &mut ic, 8);
-    println!("agent: polled {} message(s) in {}", polled.items.len(), polled.cpu);
+    println!(
+        "agent: polled {} message(s) in {}",
+        polled.items.len(),
+        polled.cpu
+    );
     let target = kernel.snapshot(7).expect("thread exists");
     let txn = ch.txn_create(target, /* decision payload: */ 7);
     let commit = ch
-        .txns_commit(visible_at + polled.cpu, &mut ic, [txn], MsixMode::Send(MsixVector(0)))
+        .txns_commit(
+            visible_at + polled.cpu,
+            &mut ic,
+            [txn],
+            MsixMode::Send(MsixVector(0)),
+        )
         .expect("queue has room");
     let delivery = commit.msix.expect("interrupt was sent");
-    println!("agent: committed in {}, MSI-X lands at {}", commit.cpu, delivery.handler_at);
+    println!(
+        "agent: committed in {}, MSI-X lands at {}",
+        commit.cpu, delivery.handler_at
+    );
 
     // ❺-❻ Host IRQ handler: software coherence flush, read, validate,
     // enforce.
@@ -59,12 +73,21 @@ pub fn run() {
     assert!(outcome.is_committed());
 
     // Close the loop: the agent learns the outcome.
-    ch.set_txns_outcomes(t_irq + txns.cpu, &mut ic, [TxnOutcomeRecord { id: got.id, outcome }]);
+    ch.set_txns_outcomes(
+        t_irq + txns.cpu,
+        &mut ic,
+        [TxnOutcomeRecord {
+            id: got.id,
+            outcome,
+        }],
+    );
     let outcomes = ch.poll_txns_outcomes(t_irq + SimTime::from_us(2), &mut ic, 8);
     println!("agent: outcome delivered ({} record)", outcomes.items.len());
 
     let total = delivery.handler_at + txns.cpu - t0;
-    println!("\nblock-to-switch total: {total} (paper Table 3 band: 3.3-4.0 us with all optimizations)");
+    println!(
+        "\nblock-to-switch total: {total} (paper Table 3 band: 3.3-4.0 us with all optimizations)"
+    );
 }
 
 fn main() {

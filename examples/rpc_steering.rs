@@ -15,12 +15,24 @@ use wave::sim::SimTime;
 pub fn run() {
     // Part 1: steering policies in isolation. Four workers, three busy.
     let busy = vec![true, true, false, true];
-    let header = RpcHeader { id: 1, flow: 99, payload_len: 64, slo: 0, method: 0 };
+    let header = RpcHeader {
+        id: 1,
+        flow: 99,
+        payload_len: 64,
+        slo: 0,
+        method: 0,
+    };
     let mut rss = RssSteering::new();
     let mut agent = AgentSteering::new();
     println!("steering an RPC with workers busy={busy:?}:");
-    println!("  RSS (hash of flow)  -> core {}", rss.steer(&header, &busy));
-    println!("  agent (idle-first)  -> core {}\n", agent.steer(&header, &busy));
+    println!(
+        "  RSS (hash of flow)  -> core {}",
+        rss.steer(&header, &busy)
+    );
+    println!(
+        "  agent (idle-first)  -> core {}\n",
+        agent.steer(&header, &busy)
+    );
 
     // Part 2: one load point per deployment scenario.
     println!("bimodal RocksDB RPCs at 100k req/s, single-queue Shinjuku:\n");

@@ -3,8 +3,9 @@
 //! agent re-pulls non-policy state from the host (the source of truth)
 //! and the system keeps working.
 
-use wave::core::{Agent, AgentId, ChannelConfig, GenerationTable, MsixMode, OptLevel, Watchdog,
-                 WaveChannel};
+use wave::core::{
+    Agent, AgentId, ChannelConfig, GenerationTable, MsixMode, OptLevel, Watchdog, WaveChannel,
+};
 use wave::pcie::{Interconnect, MsixVector};
 use wave::sim::cpu::{CoreClass, CpuModel};
 use wave::sim::SimTime;
@@ -32,7 +33,10 @@ fn watchdog_kills_silent_agent_and_restart_recovers() {
     // ...then crashes (fault injection). No more heartbeats.
     agent.crash();
     let t_detect = SimTime::from_ms(25);
-    assert!(wd.expired(t_detect), "silence past 20 ms must trip the watchdog");
+    assert!(
+        wd.expired(t_detect),
+        "silence past 20 ms must trip the watchdog"
+    );
     assert!(wd.fire(), "first firing kills the agent");
     agent.kill();
     assert!(!agent.is_running());

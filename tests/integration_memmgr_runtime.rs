@@ -1,0 +1,110 @@
+//! Pins the memory manager's runtime-backed runner to the pre-refactor
+//! goldens: the §7.4.2 duration table and the `IterationCost` breakdown
+//! must be bit-identical to the hand-rolled `SolRunner` loop they
+//! replaced, and the runtime-backed runner must be deterministic.
+
+use wave::kvstore::{AccessPattern, DbFootprint, FootprintConfig};
+use wave::memmgr::runner::{duration_table, RunnerConfig, SolRunner};
+use wave::memmgr::{IterationCost, SolConfig, SolPolicy, SolStats};
+use wave::pcie::Interconnect;
+use wave::sim::cpu::{CoreClass, CpuModel};
+use wave::sim::SimTime;
+
+/// The §7.4.2 duration table exactly as the pre-refactor `SolRunner`
+/// produced it (ms, full f64 precision): `(cores, wave, on-host)`.
+const GOLDEN_TABLE: [(u32, f64, f64); 5] = [
+    (1, 1.017_800_141e3, 6.242_609_66e2),
+    (2, 6.693_281_9e2, 4.567_263_74e2),
+    (4, 4.950_922_14e2, 3.729_590_78e2),
+    (8, 4.079_742_26e2, 3.310_754_3e2),
+    (16, 3.644_152_32e2, 3.101_336_06e2),
+];
+
+#[test]
+fn duration_table_pinned_to_pre_refactor_goldens() {
+    let table = duration_table(&[1, 2, 4, 8, 16]);
+    for ((cores, wave, onhost), (gc, gw, go)) in table.into_iter().zip(GOLDEN_TABLE) {
+        assert_eq!(cores, gc);
+        assert!(
+            (wave - gw).abs() < 1e-9,
+            "{cores} cores wave {wave} != golden {gw}"
+        );
+        assert!(
+            (onhost - go).abs() < 1e-9,
+            "{cores} cores onhost {onhost} != golden {go}"
+        );
+    }
+}
+
+/// Drives three paper-default iterations (600 ms apart, seed 4, 0.001
+/// scale, NIC ARM × 16) on one shared interconnect, exactly like the
+/// pre-refactor capture run.
+fn three_iterations() -> (Vec<SolStats>, Vec<IterationCost>, u64) {
+    let fp = DbFootprint::new(FootprintConfig::paper(0.001), AccessPattern::Scattered, 3);
+    let mut policy = SolPolicy::new(SolConfig::paper(), fp.batches());
+    let mut runner = SolRunner::new(
+        RunnerConfig::paper(CoreClass::NicArm, 16),
+        CpuModel::mount_evans(),
+    );
+    let mut ic = Interconnect::pcie();
+    let mut rng = wave::sim::rng(4);
+    let mut now = SimTime::ZERO;
+    let mut stats = Vec::new();
+    let mut costs = Vec::new();
+    for _ in 0..3 {
+        let (s, c) = runner.run_iteration(&mut ic, &mut policy, &fp, now, &mut rng);
+        stats.push(s);
+        costs.push(c);
+        now += SimTime::from_ms(600);
+    }
+    (stats, costs, runner.shipped_decisions())
+}
+
+#[test]
+fn iteration_costs_pinned_to_pre_refactor_goldens() {
+    // Captured from the pre-refactor hand-rolled loop (ns). The growing
+    // dma_in reflects the single DMA engine serializing successive
+    // iterations' transfers — state the refactor must preserve.
+    let golden_dma_in = [1_813u64, 366_767, 731_721];
+    let golden_scanned = [417u64, 417, 417];
+    let golden_hot = [135u64, 110, 98];
+    let (stats, costs, _) = three_iterations();
+    for i in 0..3 {
+        assert_eq!(costs[i].dma_in.as_ns(), golden_dma_in[i], "iter {i} dma_in");
+        assert_eq!(costs[i].scan.as_ns(), 318_917, "iter {i} scan");
+        assert_eq!(costs[i].classify.as_ns(), 43_476, "iter {i} classify");
+        assert_eq!(costs[i].dma_out.as_ns(), 898, "iter {i} dma_out");
+        assert_eq!(stats[i].scanned, golden_scanned[i], "iter {i} scanned");
+        assert_eq!(stats[i].hot, golden_hot[i], "iter {i} hot");
+    }
+    assert_eq!(costs[0].total().as_ns(), 365_104);
+}
+
+#[test]
+fn runtime_backed_runner_is_deterministic() {
+    let (s1, c1, shipped1) = three_iterations();
+    let (s2, c2, shipped2) = three_iterations();
+    assert_eq!(s1, s2);
+    assert_eq!(c1, c2);
+    assert_eq!(shipped1, shipped2);
+    assert!(shipped1 > 0, "classification flips were staged and shipped");
+}
+
+#[test]
+fn run_iteration_total_matches_closed_form_at_paper_defaults() {
+    // Cross-check against the unchanged closed-form model on a fresh
+    // interconnect: every field of the breakdown, both placements.
+    for placement in [CoreClass::NicArm, CoreClass::HostX86] {
+        let fp = DbFootprint::new(FootprintConfig::paper(0.001), AccessPattern::Scattered, 3);
+        let mut policy = SolPolicy::new(SolConfig::paper(), fp.batches());
+        let mut runner =
+            SolRunner::new(RunnerConfig::paper(placement, 16), CpuModel::mount_evans());
+        let mut ic = Interconnect::pcie();
+        let mut rng = wave::sim::rng(4);
+        let (_, cost) = runner.run_iteration(&mut ic, &mut policy, &fp, SimTime::ZERO, &mut rng);
+        let model = SolRunner::new(RunnerConfig::paper(placement, 16), CpuModel::mount_evans())
+            .iteration_cost(&mut Interconnect::pcie(), fp.batches() as u64);
+        assert_eq!(cost, model, "{placement:?}");
+        assert_eq!(cost.total(), model.total(), "{placement:?} total");
+    }
+}

@@ -32,11 +32,7 @@ struct Golden {
 
 fn assert_golden(report: &wave::ghost::sim::SchedReport, g: &Golden, label: &str) {
     assert_eq!(report.completed, g.completed, "{label}: completed drifted");
-    assert_eq!(
-        report.latency.p99.as_ns(),
-        g.p99_ns,
-        "{label}: p99 drifted"
-    );
+    assert_eq!(report.latency.p99.as_ns(), g.p99_ns, "{label}: p99 drifted");
     assert_eq!(report.msix_sent, g.msix_sent, "{label}: msix_sent drifted");
     assert_eq!(
         report.agent_decisions, g.decisions,

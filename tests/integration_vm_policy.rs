@@ -34,7 +34,10 @@ fn vm_policy_schedules_ms_scale_bursts_offloaded() {
     cfg.duration = SimTime::from_secs(4);
     cfg.warmup = SimTime::from_ms(500);
     let policy = VmPolicy::paper_default();
-    assert!(!policy.wants_prestaging(), "§7.2.4: no prestaging at ms scale");
+    assert!(
+        !policy.wants_prestaging(),
+        "§7.2.4: no prestaging at ms scale"
+    );
     let report = SchedSim::new(cfg, Box::new(policy)).run();
     assert!(report.completed > 300, "completed {}", report.completed);
     assert_eq!(report.dropped, 0);
