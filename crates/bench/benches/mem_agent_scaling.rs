@@ -1,0 +1,31 @@
+//! Regenerates the memory-agent scale-out sweep (§7.4.2 iteration
+//! duration vs shard count) and benchmarks a representative sharded
+//! iteration point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_lab::mem_scaling::{run_point, MemScalingConfig};
+
+fn mem_agent_scaling(c: &mut Criterion) {
+    bench::banner(
+        "§6 scale-out: SOL iteration duration vs shard count (1-shard baseline vs measured)",
+    );
+    let cfg = MemScalingConfig::quick();
+    wave_lab::mem_scaling::report(&cfg).print();
+
+    let mut point_cfg = MemScalingConfig::quick();
+    point_cfg.scales = vec![0.02];
+    c.bench_function("mem_scaling_point_4_shards", |b| {
+        b.iter(|| black_box(run_point(&point_cfg, 4, 0.02)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = mem_agent_scaling
+}
+criterion_main!(benches);

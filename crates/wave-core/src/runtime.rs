@@ -42,6 +42,94 @@
 //! The duty cycle — pump, stage, commit — is the same either way; only
 //! the queue legs differ, which is what makes runtime features (pump
 //! gating, watchdog restart, N-shard slicing) apply to both agents.
+//!
+//! # Worked example
+//!
+//! The smallest possible agent: a [`ResourcePolicy`] that echoes host
+//! request ids back as decisions, one [`AgentRuntime`] bound to the MMIO
+//! transport, and one full duty cycle — host *send*, agent *poll* and
+//! *stage*, host *consume*. This is the whole extension surface: a new
+//! resource manager implements `ResourcePolicy`, picks a transport in
+//! [`RuntimeConfig`], and drives exactly these calls from its event loop
+//! (sharded deployments instantiate K of everything below, one batch
+//! slice each — see [`shard_range`]).
+//!
+//! ```
+//! use wave_core::runtime::{
+//!     AgentRuntime, ResourcePolicy, RuntimeConfig, SlotId, StageCost,
+//! };
+//! use wave_core::AgentId;
+//! use wave_pcie::{Interconnect, PteType, SocPteMode};
+//! use wave_queue::Transport;
+//! use wave_sim::cpu::{CoreClass, CpuModel};
+//! use wave_sim::SimTime;
+//!
+//! /// Echo each pending host request id back as a decision.
+//! struct Echo {
+//!     pending: Vec<u64>,
+//! }
+//!
+//! impl ResourcePolicy for Echo {
+//!     type Decision = u64;
+//!     fn produce(&mut self, _now: SimTime, _slot: SlotId) -> Option<u64> {
+//!         self.pending.pop()
+//!     }
+//!     fn compute_cost(&self) -> SimTime {
+//!         SimTime::from_ns(100) // host-reference cost per invocation
+//!     }
+//!     fn backlog(&self) -> usize {
+//!         self.pending.len()
+//!     }
+//! }
+//!
+//! let mut ic = Interconnect::pcie();
+//! let cfg = RuntimeConfig {
+//!     queue_capacity: 64,
+//!     msg_words: 4,
+//!     decision_words: 6,
+//!     slots: 4,
+//!     msg_transport: Transport::Mmio, // µs-scale traffic (§4.1)
+//!     wire_bytes_per_msg: None,
+//!     msg_pte: PteType::WriteCombining,
+//!     decision_pte: PteType::WriteThrough,
+//!     soc_pte: SocPteMode::WriteBack,
+//!     pickup: SimTime::from_ns(100),
+//! };
+//! let mut rt: AgentRuntime<u64, u64> = AgentRuntime::new(
+//!     &mut ic,
+//!     AgentId(0),
+//!     CoreClass::NicArm,
+//!     CpuModel::mount_evans(),
+//!     &cfg,
+//! );
+//!
+//! // Host: submit request 7 and fence it visible.
+//! let (send_cpu, delivered) = rt.host_send(SimTime::ZERO, &mut ic, 7);
+//! assert!(delivered);
+//! let flushed = send_cpu + rt.host_flush(send_cpu, &mut ic);
+//!
+//! // Agent: pick the message up after the wire delay, run the policy,
+//! // stage the decision into the resource's slot.
+//! let arrive = flushed + ic.one_way();
+//! let polled = rt.poll(arrive, &mut ic, usize::MAX);
+//! assert_eq!(polled.items, vec![7]);
+//! let mut policy = Echo { pending: polled.items };
+//! let mut agent_cpu = SimTime::ZERO;
+//! let staged = rt.stage_with(
+//!     arrive,
+//!     &mut ic,
+//!     &mut policy,
+//!     SlotId(0),
+//!     StageCost { ratio: 1.0, extra: SimTime::ZERO },
+//!     &mut agent_cpu,
+//! );
+//! assert!(staged);
+//!
+//! // Host: consume the staged decision on the next idle transition.
+//! let later = arrive + agent_cpu + ic.one_way();
+//! let (_cpu, decision) = rt.slots().host_consume(later, &mut ic, SlotId(0));
+//! assert_eq!(decision, Some(7));
+//! ```
 
 use wave_pcie::config::Side;
 use wave_pcie::{DmaDirection, DmaMode, Interconnect, LineAddr, PteType, RegionId, SocPteMode};
@@ -57,6 +145,33 @@ use crate::agent::{Agent, AgentId};
 /// resource (e.g. a worker core) to `(shard, SlotId)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SlotId(pub u32);
+
+/// The static contiguous resource slice owned by shard `i` of `shards`:
+/// `[i·total/shards, (i+1)·total/shards)`, balanced to within one
+/// resource. This is the partition both sharded agents use — the
+/// scheduler over worker cores, the memory manager over page batches —
+/// so the global id of a shard's local slot `s` is always
+/// `shard_range(total, shards, i).start + s`.
+///
+/// ```
+/// use wave_core::runtime::shard_range;
+///
+/// assert_eq!(shard_range(10, 4, 0), 0..2);
+/// assert_eq!(shard_range(10, 4, 1), 2..5);
+/// assert_eq!(shard_range(10, 4, 3), 7..10);
+/// // Every resource is owned by exactly one shard.
+/// let owned: usize = (0..4).map(|i| shard_range(10, 4, i).len()).sum();
+/// assert_eq!(owned, 10);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or `i >= shards`.
+pub fn shard_range(total: usize, shards: usize, i: usize) -> std::ops::Range<usize> {
+    assert!(shards > 0, "need at least one shard");
+    assert!(i < shards, "shard index {i} out of range ({shards} shards)");
+    (i * total / shards)..((i + 1) * total / shards)
+}
 
 #[derive(Debug, Clone, Copy)]
 struct Staged<D> {

@@ -26,7 +26,9 @@
 use std::collections::HashMap;
 
 use rand::rngs::SmallRng;
-use wave_core::runtime::{AgentRuntime, ResourcePolicy, RuntimeConfig, SlotId, StageCost};
+use wave_core::runtime::{
+    shard_range, AgentRuntime, ResourcePolicy, RuntimeConfig, SlotId, StageCost,
+};
 use wave_core::txn::{GenerationTable, TxnId};
 use wave_core::{AgentId, OptLevel};
 use wave_pcie::{Interconnect, MsixSendPath, MsixVector, PcieConfig};
@@ -443,9 +445,11 @@ impl SchedSim {
         let mut core_shard = vec![0u32; cfg.workers as usize];
         let mut shard_start = Vec::with_capacity(cfg.agents as usize);
         for (i, policy) in policies.into_iter().enumerate() {
-            // Static contiguous slices, balanced to within one core.
-            let start = (i as u64 * cfg.workers as u64 / cfg.agents as u64) as u32;
-            let end = ((i as u64 + 1) * cfg.workers as u64 / cfg.agents as u64) as u32;
+            // Static contiguous slices, balanced to within one core —
+            // the same partition the sharded memory manager applies to
+            // its batch space.
+            let slice = shard_range(cfg.workers as usize, cfg.agents as usize, i);
+            let (start, end) = (slice.start as u32, slice.end as u32);
             shard_start.push(start);
             for c in start..end {
                 core_shard[c as usize] = i as u32;

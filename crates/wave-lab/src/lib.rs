@@ -17,7 +17,8 @@
 //! | [`fig6`] | Fig. 6a/6b — RPC stack placement scenarios |
 //! | [`upi`] | §7.3.3 — coherent-interconnect emulation |
 //! | [`mem`] | §7.4 — SOL iteration durations & footprint reduction |
-//! | [`scaling`] | §6 scale-out — throughput vs SmartNIC agent count |
+//! | [`scaling`] | §6 scale-out — scheduler throughput vs agent count |
+//! | [`mem_scaling`] | §6 scale-out — SOL iteration duration vs shard count |
 //!
 //! Independent load points run in parallel on `std::thread` workers
 //! ([`par::par_map`]); each point is its own deterministic simulation.
@@ -26,6 +27,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod mem;
+pub mod mem_scaling;
 pub mod par;
 pub mod report;
 pub mod scaling;

@@ -12,7 +12,9 @@ use rand::Rng;
 use serde::Serialize;
 use wave_kvstore::{AccessPattern, DbFootprint, FootprintConfig};
 use wave_memmgr::runner::duration_table;
-use wave_memmgr::{RunnerConfig, SolConfig, SolPolicy, SolRunner};
+use wave_memmgr::{
+    sharded_iteration_cost, RunnerConfig, ShardedSolRunner, SolConfig, SolPolicy, SolRunner,
+};
 use wave_pcie::Interconnect;
 use wave_sim::cpu::{CoreClass, CpuModel};
 use wave_sim::stats::Histogram;
@@ -53,6 +55,9 @@ pub fn duration_report() -> Report {
 /// driven through the shared `AgentRuntime` (DMA ingest, slot staging,
 /// batched decision ship-back), with its leg-by-leg breakdown checked
 /// against the closed-form cost model — the two must agree exactly.
+/// A second section runs the same iteration K-sharded
+/// ([`ShardedSolRunner`], one runtime per batch slice) and checks every
+/// shard's legs against the sharded model the same way.
 pub fn runtime_iteration_report() -> Report {
     let fp = DbFootprint::new(FootprintConfig::paper(0.002), AccessPattern::Scattered, 42);
     let mut policy = SolPolicy::new(SolConfig::paper(), fp.batches());
@@ -107,6 +112,46 @@ pub fn runtime_iteration_report() -> Report {
         runner.shipped_decisions()
     ));
     r.note("same AgentRuntime as the scheduler, bound to the DMA transport (delta-compressed ingest, batched slot-consume)");
+
+    // The K-sharded section: the same first iteration, partitioned
+    // across SHARDS runtimes, every shard's legs against the sharded
+    // closed-form model.
+    const SHARDS: u32 = 2;
+    let mut sharded = ShardedSolRunner::new(
+        RunnerConfig::paper(CoreClass::NicArm, 16),
+        CpuModel::mount_evans(),
+        SHARDS,
+        SolConfig::paper(),
+        fp.batches(),
+        42,
+    );
+    let (sstats, scost) = sharded.run_iteration(&fp, SimTime::ZERO);
+    let smodel = sharded_iteration_cost(
+        RunnerConfig::paper(CoreClass::NicArm, 16),
+        CpuModel::mount_evans(),
+        SHARDS,
+        fp.batches() as u64,
+    );
+    for (i, (real, model)) in scost.per_shard.iter().zip(&smodel.per_shard).enumerate() {
+        r.push(PaperRow::new(
+            format!("shard {i}/{SHARDS} total"),
+            us(model.total()),
+            us(real.total()),
+            "us",
+        ));
+    }
+    r.push(PaperRow::new(
+        format!("sharded wall (K={SHARDS})"),
+        us(smodel.wall()),
+        us(scost.wall()),
+        "us",
+    ));
+    r.note(format!(
+        "sharded section: {} batches scanned across {} agent runtimes, per-shard shipments {:?}",
+        sstats.scanned,
+        SHARDS,
+        sharded.per_shard_shipped()
+    ));
     r
 }
 
@@ -261,8 +306,11 @@ mod tests {
 
     #[test]
     fn runtime_iteration_report_legs_match_model_exactly() {
+        // 5 unsharded legs + one total per shard + the sharded wall;
+        // every row must sit exactly on the model (ratio 1.000), the
+        // sharded ones included.
         let r = runtime_iteration_report();
-        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.rows.len(), 8);
         for row in &r.rows {
             assert_eq!(
                 row.ratio(),

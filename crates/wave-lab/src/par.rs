@@ -1,50 +1,14 @@
 //! Thread fan-out for independent simulation points.
 //!
 //! Every load point of a latency-throughput curve (and every cell of the
-//! agent-scaling grid) is an independent, deterministic simulation, so
+//! agent-scaling grids) is an independent, deterministic simulation, so
 //! the harness runs them on `std::thread` workers. Determinism is
 //! unaffected: each point owns its RNG (seeded from its config) and the
 //! results are returned in input order.
+//!
+//! The implementation lives in [`wave_sim::par`] so that sharded agents
+//! (e.g. `wave_memmgr::ShardedSolRunner`) can reuse the same fan-out
+//! without depending on the lab crate; this module re-exports it for the
+//! experiment harness's historical call sites.
 
-/// Maps `f` over `items` on one OS thread per item, preserving order.
-///
-/// Intended for coarse work units (each a multi-millisecond simulation);
-/// the per-thread spawn cost is noise at that granularity, and the
-/// experiment grids are small enough (≤ a few dozen points) that an
-/// explicit pool is not worth its complexity.
-///
-/// # Panics
-///
-/// Propagates a panic from any worker.
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items.iter().map(|item| scope.spawn(|| f(item))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("simulation worker panicked"))
-            .collect()
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let xs: Vec<u64> = (0..32).collect();
-        let ys = par_map(&xs, |&x| x * x);
-        assert_eq!(ys, xs.iter().map(|x| x * x).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn empty_input() {
-        let ys: Vec<u64> = par_map(&[] as &[u64], |&x| x);
-        assert!(ys.is_empty());
-    }
-}
+pub use wave_sim::par::{par_map, par_map_mut};

@@ -19,13 +19,20 @@
 //!   paper's §7.4.2 duration table, the DMA shipping of PTE deltas in
 //!   and migration decisions out, plus a real multi-threaded
 //!   classification executor.
+//! * [`shard`] — the §6 scale-out applied to §4.2: the batch space
+//!   partitioned across K agent runtimes ([`ShardedSolRunner`]), each
+//!   with its own PTE-delta stream, decision-slot slice, policy, and
+//!   DMA channel, executing on real OS threads; per-shard iteration
+//!   costs merge with explicit serial/parallel phase attribution.
 
 pub mod pagetable;
 pub mod runner;
+pub mod shard;
 pub mod sol;
 
 pub use pagetable::{AddressSpace, BatchId, PageFlags};
 pub use runner::{
     IterationCost, MigrationDecision, MigrationStager, PteDelta, RunnerConfig, SolRunner,
 };
+pub use shard::{sharded_iteration_cost, ShardedCost, ShardedSolRunner};
 pub use sol::{SolConfig, SolPolicy, SolStats};

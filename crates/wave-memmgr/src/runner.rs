@@ -173,6 +173,17 @@ impl IterationCost {
     pub fn total(&self) -> SimTime {
         self.dma_in + self.scan + self.classify + self.dma_out
     }
+
+    /// The all-zero cost of an iteration that did no work (e.g. a dead
+    /// shard awaiting restart).
+    pub fn idle() -> Self {
+        IterationCost {
+            dma_in: SimTime::ZERO,
+            scan: SimTime::ZERO,
+            classify: SimTime::ZERO,
+            dma_out: SimTime::ZERO,
+        }
+    }
 }
 
 /// Executes SOL iterations under a deployment's cost model, on the
@@ -186,6 +197,9 @@ pub struct SolRunner {
     rt: Option<AgentRuntime<PteDelta, MigrationDecision>>,
     /// Migration decisions shipped to the host so far.
     shipped: u64,
+    /// The decisions of the most recent `dma_out` shipment, in slot
+    /// order (what the host received last iteration).
+    last_shipment: Vec<MigrationDecision>,
 }
 
 impl SolRunner {
@@ -196,6 +210,7 @@ impl SolRunner {
             cpu,
             rt: None,
             shipped: 0,
+            last_shipment: Vec::new(),
         }
     }
 
@@ -280,15 +295,19 @@ impl SolRunner {
     /// one batched `dma_out` transfer. Returns the policy stats plus
     /// the modelled duration, derived from the runtime legs.
     ///
-    /// Note the two-clock convention inherited from the pre-refactor
-    /// cost model (and pinned by its goldens): the policy scans at
-    /// `now`, but the transport legs are issued on a per-iteration
-    /// clock starting at [`SimTime::ZERO`]. Because the single DMA
-    /// engine serializes transfers, successive iterations on one
-    /// interconnect queue behind each other regardless of the wall
-    /// clock between them — callers comparing [`IterationCost`]s
-    /// across configurations should use a fresh [`Interconnect`] per
-    /// measurement (as [`duration_table`] does).
+    /// All transport legs are issued at `now` on the shared wall clock
+    /// (the per-iteration `SimTime::ZERO` clock of the pre-refactor
+    /// cost model is retired), so on a long-lived [`Interconnect`] an
+    /// iteration only queues behind DMA traffic that is *actually* in
+    /// flight — the engine sits idle across the 600 ms between scan
+    /// periods, and [`IterationCost`]s stay comparable across
+    /// iterations and shards. The returned cost fields are durations
+    /// relative to `now`.
+    ///
+    /// When `policy` manages a base-offset slice of a sharded batch
+    /// space, decision slots are indexed shard-locally (global batch −
+    /// [`SolPolicy::base`]); the shipped [`MigrationDecision`]s keep
+    /// global batch ids, since those are what the host acts on.
     pub fn run_iteration(
         &mut self,
         ic: &mut Interconnect,
@@ -320,20 +339,22 @@ impl SolRunner {
         let rt = self.rt.as_mut().expect("just built");
 
         // Host leg: push the delta stream and flush — the queue's
-        // batched, delta-compressed DMA is the dma_in transfer.
+        // batched, delta-compressed DMA is the dma_in transfer, issued
+        // at `now` so only genuinely concurrent traffic queues.
         if due.is_empty() {
-            rt.host_send(SimTime::ZERO, ic, PteDelta::HEARTBEAT);
+            rt.host_send(now, ic, PteDelta::HEARTBEAT);
         } else {
             for &b in &due {
-                rt.host_send(SimTime::ZERO, ic, PteDelta { batch: b as u32 });
+                rt.host_send(now, ic, PteDelta { batch: b as u32 });
             }
         }
-        rt.host_flush(SimTime::ZERO, ic);
-        let dma_in = rt.next_visible_at().expect("stream in flight");
+        rt.host_flush(now, ic);
+        let arrive = rt.next_visible_at().expect("stream in flight");
+        let dma_in = arrive - now;
 
         // Agent leg: pick the stream up at arrival and run the two-phase
         // pass over exactly the batches the host shipped.
-        let polled = rt.poll(dma_in, ic, usize::MAX);
+        let polled = rt.poll(arrive, ic, usize::MAX);
         let scanned: Vec<usize> = polled
             .items
             .iter()
@@ -344,17 +365,19 @@ impl SolRunner {
 
         // Stage the classification flips as migration decisions through
         // the generic slot table, each at its batch's slot (slot i ==
-        // batch i), so the shipment's slot ids identify the migrating
-        // batch. Decision-forming compute is the classify phase above,
-        // so the stager charges zero compute here; only the slot writes
+        // global batch i − shard base), so the shipment's slot ids
+        // identify the migrating batch within this runtime's slice.
+        // Decision-forming compute is the classify phase above, so the
+        // stager charges zero compute here; only the slot writes
         // accrue, onto the agent's serial clock.
+        let base = policy.base();
         let targets: Vec<SlotId> = policy
             .flips()
             .iter()
-            .map(|&(b, _)| SlotId(b as u32))
+            .map(|&(b, _)| SlotId((b - base) as u32))
             .collect();
         let mut stager = MigrationStager::new(policy.flips().iter().copied(), SimTime::ZERO);
-        let stage_at = dma_in + scan;
+        let stage_at = arrive + scan;
         let stage_cost = StageCost {
             ratio: 1.0,
             extra: SimTime::ZERO,
@@ -370,9 +393,10 @@ impl SolRunner {
         // Ship leg: one batched transfer consumes every staged slot —
         // only a subset migrates, so the decision stream is ~4:1
         // smaller than the ingest (<1 ms per the paper).
-        let ship_at = dma_in + scan + classify;
+        let ship_at = arrive + scan + classify;
         let shipment = rt.dma_ship_staged(ship_at, ic, (wire / 4).max(64), DmaMode::Async);
         self.shipped += shipment.decisions.len() as u64;
+        self.last_shipment = shipment.decisions.iter().map(|&(_, d)| d).collect();
         let dma_out = shipment.complete_at - ship_at;
 
         (
@@ -396,9 +420,20 @@ impl SolRunner {
         self.rt.as_ref()
     }
 
+    /// Mutable runtime access (fault injection: kill/restart the agent).
+    pub fn runtime_mut(&mut self) -> Option<&mut AgentRuntime<PteDelta, MigrationDecision>> {
+        self.rt.as_mut()
+    }
+
     /// Migration decisions shipped to the host so far.
     pub fn shipped_decisions(&self) -> u64 {
         self.shipped
+    }
+
+    /// The most recent `dma_out` shipment's decisions, in slot order —
+    /// the host's view of what arrived last iteration.
+    pub fn last_shipment(&self) -> &[MigrationDecision] {
+        &self.last_shipment
     }
 }
 

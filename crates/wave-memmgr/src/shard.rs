@@ -1,0 +1,583 @@
+//! The K-sharded memory agent (§6 scale-out applied to §4.2).
+//!
+//! Wave's scaling story is that resource managers grow by *partitioning
+//! hosts across agents*, not by fattening one agent. The scheduler
+//! demonstrates it over worker cores (`SchedConfig::agents`); this
+//! module applies the same pattern to the memory manager's batch space:
+//! a [`ShardedSolRunner`] owns K complete agent worlds, each with
+//!
+//! * a contiguous **batch slice** ([`wave_core::runtime::shard_range`]
+//!   over the address space, the same partition the scheduler uses for
+//!   cores),
+//! * its own [`SolRunner`] on its own [`AgentRuntime`] — a private
+//!   PTE-delta stream (DMA ingest), decision-slot slice, and
+//!   [`MigrationStager`],
+//! * its own [`SolPolicy`] over the slice (global batch ids, local
+//!   state — [`SolPolicy::with_base`]), and
+//! * its own [`Interconnect`] and RNG stream, modelling one DMA channel
+//!   per agent.
+//!
+//! Because each shard owns *all* of its mutable state, shards execute on
+//! real OS threads ([`wave_sim::par::par_map_mut`]) with no sharing and
+//! no loss of determinism — the multi-agent counterpart of
+//! [`parallel_classify`]'s multi-thread-within-one-agent guidance.
+//!
+//! # Cost attribution
+//!
+//! One sharded iteration returns a [`ShardedCost`]: the per-shard
+//! [`IterationCost`]s plus explicit phase attribution. Within one agent
+//! only the classification phase divides across threads (§7.4.2's
+//! two-phase story); across K *agents* every phase divides, because each
+//! shard scans, classifies, and DMAs only its slice:
+//!
+//! * [`ShardedCost::wall`] — the iteration's wall clock, the slowest
+//!   shard's total (agents run concurrently);
+//! * [`ShardedCost::serial_phase`] — the slowest shard's memory-bound
+//!   scan: serial *within* an agent, divided K ways *across* agents;
+//! * [`ShardedCost::parallel_phase`] — the slowest shard's
+//!   classification (already divided by per-agent threads);
+//! * [`ShardedCost::dma`] — the slowest shard's combined transport legs.
+//!
+//! With K=1 the sharded runner is bit-identical to a bare [`SolRunner`]
+//! (pinned by `tests/integration_memmgr_runtime.rs`): shard 0 holds the
+//! whole batch space, the same RNG stream, and a fresh interconnect.
+//!
+//! [`AgentRuntime`]: wave_core::runtime::AgentRuntime
+
+use rand::rngs::SmallRng;
+use wave_core::runtime::shard_range;
+use wave_kvstore::DbFootprint;
+use wave_pcie::Interconnect;
+use wave_sim::cpu::CpuModel;
+use wave_sim::par::par_map_mut;
+use wave_sim::SimTime;
+
+use crate::runner::{IterationCost, MigrationDecision, RunnerConfig, SolRunner};
+use crate::sol::{SolConfig, SolPolicy, SolStats};
+
+#[cfg(doc)]
+use crate::runner::{parallel_classify, MigrationStager};
+
+/// Cost of one sharded iteration: per-shard legs plus aggregate views.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedCost {
+    /// One [`IterationCost`] per shard, in shard order. A dead shard
+    /// (killed by its watchdog, not yet restarted) contributes
+    /// [`IterationCost::idle`].
+    pub per_shard: Vec<IterationCost>,
+}
+
+impl ShardedCost {
+    /// Wall-clock duration of the sharded iteration: agents run
+    /// concurrently, so the slowest shard's total.
+    pub fn wall(&self) -> SimTime {
+        self.per_shard
+            .iter()
+            .map(IterationCost::total)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The serial (memory-bound scan) phase on the critical path — the
+    /// phase agent threads cannot shrink but agent *sharding* divides.
+    pub fn serial_phase(&self) -> SimTime {
+        self.per_shard
+            .iter()
+            .map(|c| c.scan)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The parallel (compute-bound classification) phase on the
+    /// critical path, already divided by each agent's threads.
+    pub fn parallel_phase(&self) -> SimTime {
+        self.per_shard
+            .iter()
+            .map(|c| c.classify)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The transport legs (PTE ingest + decision ship-back) on the
+    /// critical path.
+    pub fn dma(&self) -> SimTime {
+        self.per_shard
+            .iter()
+            .map(|c| c.dma_in + c.dma_out)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Leg-wise critical path across shards: each field is the maximum
+    /// of that leg over the shards. With balanced slices this coincides
+    /// with the slowest shard's breakdown; under skew it upper-bounds
+    /// [`ShardedCost::wall`].
+    pub fn aggregate(&self) -> IterationCost {
+        let mut agg = IterationCost::idle();
+        for c in &self.per_shard {
+            agg.dma_in = agg.dma_in.max(c.dma_in);
+            agg.scan = agg.scan.max(c.scan);
+            agg.classify = agg.classify.max(c.classify);
+            agg.dma_out = agg.dma_out.max(c.dma_out);
+        }
+        agg
+    }
+}
+
+/// One shard's complete agent world. Owning everything (runner, policy,
+/// interconnect, RNG) is what makes the fan-out thread-safe and the
+/// fault blast-radius exactly one slice of the batch space.
+#[derive(Debug)]
+struct MemShard {
+    runner: SolRunner,
+    policy: SolPolicy,
+    ic: Interconnect,
+    rng: SmallRng,
+    /// False between a watchdog kill and the operator restart.
+    alive: bool,
+}
+
+impl MemShard {
+    fn run(&mut self, workload: &DbFootprint, now: SimTime) -> (SolStats, IterationCost) {
+        if !self.alive {
+            return (SolStats::default(), IterationCost::idle());
+        }
+        self.runner
+            .run_iteration(&mut self.ic, &mut self.policy, workload, now, &mut self.rng)
+    }
+}
+
+/// The memory manager partitioned across K agent runtimes.
+#[derive(Debug)]
+pub struct ShardedSolRunner {
+    shards: Vec<MemShard>,
+    cfg: RunnerConfig,
+    sol: SolConfig,
+    total_batches: usize,
+    threaded: bool,
+    /// Host-side epoch clock. The epoch is a global, host-driven event,
+    /// so it lives here and not in any shard's policy — a killed or
+    /// restarted shard must not perturb the cadence for the others.
+    last_epoch: SimTime,
+}
+
+impl ShardedSolRunner {
+    /// Partitions `total_batches` across `shards` agents. Shard `i`
+    /// owns the contiguous slice [`shard_range`]`(total_batches,
+    /// shards, i)`, a fresh policy with an uninformative prior over it,
+    /// and the RNG stream `seed ^ (i << 32)` — so with one shard the
+    /// deployment is indistinguishable from an unsharded
+    /// [`SolRunner`] driven with `rng(seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds `total_batches`.
+    pub fn new(
+        cfg: RunnerConfig,
+        cpu: CpuModel,
+        shards: u32,
+        sol: SolConfig,
+        total_batches: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            total_batches >= shards as usize,
+            "need at least one batch per shard"
+        );
+        let shards = (0..shards as usize)
+            .map(|i| {
+                let slice = shard_range(total_batches, shards as usize, i);
+                MemShard {
+                    runner: SolRunner::new(cfg, cpu),
+                    policy: SolPolicy::with_base(sol, slice.len(), slice.start),
+                    ic: Interconnect::pcie(),
+                    rng: wave_sim::rng(seed ^ (i as u64) << 32),
+                    alive: true,
+                }
+            })
+            .collect();
+        ShardedSolRunner {
+            shards,
+            cfg,
+            sol,
+            total_batches,
+            threaded: true,
+            last_epoch: SimTime::ZERO,
+        }
+    }
+
+    /// The per-agent deployment configuration every shard runs.
+    pub fn config(&self) -> RunnerConfig {
+        self.cfg
+    }
+
+    /// Disables (or re-enables) the OS-thread fan-out; shards then run
+    /// sequentially on the caller's thread. Results are identical
+    /// either way — the knob exists for determinism tests and
+    /// single-threaded embeddings.
+    pub fn with_threads(mut self, threaded: bool) -> Self {
+        self.threaded = threaded;
+        self
+    }
+
+    /// Number of agent shards.
+    pub fn shards(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// Total batches under management across all shards.
+    pub fn total_batches(&self) -> usize {
+        self.total_batches
+    }
+
+    /// The global batch slice shard `i` owns.
+    pub fn shard_slice(&self, i: u32) -> std::ops::Range<usize> {
+        shard_range(self.total_batches, self.shards.len(), i as usize)
+    }
+
+    /// Runs one sharded iteration at `now`: every live shard ships its
+    /// due PTE deltas, scans, classifies, stages, and ships decisions —
+    /// concurrently on OS threads unless [`with_threads`]`(false)`.
+    /// Returns the merged stats and the per-shard cost breakdown.
+    ///
+    /// [`with_threads`]: ShardedSolRunner::with_threads
+    pub fn run_iteration(
+        &mut self,
+        workload: &DbFootprint,
+        now: SimTime,
+    ) -> (SolStats, ShardedCost) {
+        let results = if self.threaded && self.shards.len() > 1 {
+            par_map_mut(&mut self.shards, |sh| sh.run(workload, now))
+        } else {
+            self.shards
+                .iter_mut()
+                .map(|sh| sh.run(workload, now))
+                .collect()
+        };
+        let mut merged = SolStats::default();
+        let mut per_shard = Vec::with_capacity(results.len());
+        for (stats, cost) in results {
+            merged.scanned += stats.scanned;
+            merged.hot += stats.hot;
+            merged.cold += stats.cold;
+            merged.demoted += stats.demoted;
+            merged.promoted += stats.promoted;
+            per_shard.push(cost);
+        }
+        (merged, ShardedCost { per_shard })
+    }
+
+    /// Whether an epoch boundary has passed. The epoch clock is
+    /// host-side state (one cadence for the whole deployment), so it is
+    /// immune to individual shard kills and restarts.
+    pub fn epoch_due(&self, now: SimTime) -> bool {
+        now.saturating_sub(self.last_epoch) >= self.sol.epoch
+    }
+
+    /// Applies epoch migration on every live shard's slice and advances
+    /// the host's epoch clock (a dead shard's slice simply skips this
+    /// epoch). Returns the merged `(demoted, promoted)` counts.
+    pub fn epoch_migrate(&mut self, now: SimTime, footprint: &mut DbFootprint) -> (u64, u64) {
+        self.last_epoch = now;
+        let mut demoted = 0;
+        let mut promoted = 0;
+        for sh in self.shards.iter_mut().filter(|sh| sh.alive) {
+            let (d, p) = sh.policy.epoch_migrate(now, footprint);
+            demoted += d;
+            promoted += p;
+        }
+        (demoted, promoted)
+    }
+
+    /// Migration decisions shipped to the host so far, all shards.
+    pub fn shipped_decisions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|sh| sh.runner.shipped_decisions())
+            .sum()
+    }
+
+    /// Decisions shipped per shard, in shard order (shows every shard
+    /// pulls its weight).
+    pub fn per_shard_shipped(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|sh| sh.runner.shipped_decisions())
+            .collect()
+    }
+
+    /// Shard `i`'s most recent `dma_out` shipment (the host's view).
+    pub fn last_shipment(&self, i: u32) -> &[MigrationDecision] {
+        self.shards[i as usize].runner.last_shipment()
+    }
+
+    /// Read-only access to shard `i`'s runner (telemetry/tests).
+    pub fn shard_runner(&self, i: u32) -> &SolRunner {
+        &self.shards[i as usize].runner
+    }
+
+    /// Whether shard `i` is alive (not killed, or restarted since).
+    pub fn is_shard_running(&self, i: u32) -> bool {
+        self.shards[i as usize].alive
+    }
+
+    /// Kills shard `i` — the watchdog path (§3.3): the agent stops
+    /// polling and its batch slice goes unmanaged until
+    /// [`restart_shard`]. Other shards are unaffected; that containment
+    /// is the point of the partition. Decisions the shard had already
+    /// shipped remain with the host; slots were drained atomically by
+    /// the last `dma_out`, so nothing is stranded in SmartNIC DRAM.
+    ///
+    /// [`restart_shard`]: ShardedSolRunner::restart_shard
+    pub fn kill_shard(&mut self, i: u32) {
+        let sh = &mut self.shards[i as usize];
+        sh.alive = false;
+        if let Some(rt) = sh.runner.runtime_mut() {
+            let agent = rt.agent_mut();
+            agent.crash();
+            agent.kill();
+        }
+    }
+
+    /// Restarts shard `i` at `now` following the paper's §6 "keep fault
+    /// recovery simple" recipe: the agent's soft policy state
+    /// (posteriors, scan ladder) is *not* checkpointed — the restarted
+    /// shard re-pulls a fresh uninformative prior over its slice, which
+    /// makes every batch due at the next iteration. The host therefore
+    /// replays the slice: the first post-restart scan re-derives and
+    /// re-ships the migration decisions a mid-epoch crash may have
+    /// cost, from the page tables (the source of truth), not from any
+    /// agent-side journal.
+    pub fn restart_shard(&mut self, i: u32, now: SimTime) {
+        let slice = self.shard_slice(i);
+        let sh = &mut self.shards[i as usize];
+        sh.alive = true;
+        sh.policy = SolPolicy::with_base(self.sol, slice.len(), slice.start);
+        if let Some(rt) = sh.runner.runtime_mut() {
+            rt.agent_mut().restart(now);
+        }
+    }
+}
+
+/// Closed-form cost of one sharded iteration over the full batch space:
+/// per-shard [`SolRunner::iteration_cost`] on a fresh interconnect per
+/// shard (each agent owns its DMA channel). The K=1 case is bit-
+/// identical to the unsharded model — and therefore to the pinned
+/// §7.4.2 duration table.
+pub fn sharded_iteration_cost(
+    cfg: RunnerConfig,
+    cpu: CpuModel,
+    shards: u32,
+    total_batches: u64,
+) -> ShardedCost {
+    assert!(shards >= 1, "need at least one shard");
+    let per_shard = (0..shards as usize)
+        .map(|i| {
+            let slice = shard_range(total_batches as usize, shards as usize, i);
+            let mut ic = Interconnect::pcie();
+            SolRunner::new(cfg, cpu).iteration_cost(&mut ic, slice.len() as u64)
+        })
+        .collect();
+    ShardedCost { per_shard }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_kvstore::{AccessPattern, FootprintConfig};
+    use wave_sim::cpu::CoreClass;
+
+    fn world(scale: f64) -> DbFootprint {
+        DbFootprint::new(FootprintConfig::paper(scale), AccessPattern::Scattered, 3)
+    }
+
+    fn sharded(fp: &DbFootprint, k: u32) -> ShardedSolRunner {
+        ShardedSolRunner::new(
+            RunnerConfig::paper(CoreClass::NicArm, 16),
+            CpuModel::mount_evans(),
+            k,
+            SolConfig::paper(),
+            fp.batches(),
+            4,
+        )
+    }
+
+    #[test]
+    fn k1_is_bit_identical_to_unsharded_runner() {
+        let fp = world(0.001);
+        let mut one = sharded(&fp, 1);
+        let mut policy = SolPolicy::new(SolConfig::paper(), fp.batches());
+        let mut runner = SolRunner::new(
+            RunnerConfig::paper(CoreClass::NicArm, 16),
+            CpuModel::mount_evans(),
+        );
+        let mut ic = Interconnect::pcie();
+        let mut rng = wave_sim::rng(4);
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            let (ss, sc) = one.run_iteration(&fp, now);
+            let (us, uc) = runner.run_iteration(&mut ic, &mut policy, &fp, now, &mut rng);
+            assert_eq!(ss, us);
+            assert_eq!(sc.per_shard, vec![uc]);
+            assert_eq!(sc.wall(), uc.total());
+            now += SimTime::from_ms(600);
+        }
+        assert_eq!(one.shipped_decisions(), runner.shipped_decisions());
+        assert_eq!(one.last_shipment(0), runner.last_shipment());
+    }
+
+    #[test]
+    fn threaded_and_serial_execution_agree() {
+        let fp = world(0.001);
+        let mut a = sharded(&fp, 4);
+        let mut b = sharded(&fp, 4).with_threads(false);
+        let mut now = SimTime::ZERO;
+        for _ in 0..2 {
+            let (sa, ca) = a.run_iteration(&fp, now);
+            let (sb, cb) = b.run_iteration(&fp, now);
+            assert_eq!(sa, sb);
+            assert_eq!(ca, cb);
+            now += SimTime::from_ms(600);
+        }
+        assert_eq!(a.per_shard_shipped(), b.per_shard_shipped());
+    }
+
+    #[test]
+    fn shards_cover_the_batch_space_and_ship_within_their_slice() {
+        let fp = world(0.001);
+        let mut k4 = sharded(&fp, 4);
+        let (stats, _) = k4.run_iteration(&fp, SimTime::ZERO);
+        // Every batch is due at t=0 and every batch belongs to exactly
+        // one shard, so the merged scan covers the whole space.
+        assert_eq!(stats.scanned as usize, fp.batches());
+        assert_eq!((stats.hot + stats.cold) as usize, fp.batches());
+        for i in 0..4u32 {
+            let slice = k4.shard_slice(i);
+            let shipped = k4.last_shipment(i);
+            assert!(!shipped.is_empty(), "shard {i} shipped nothing");
+            assert!(
+                shipped.iter().all(|d| slice.contains(&(d.batch as usize))),
+                "shard {i} shipped a decision outside its slice"
+            );
+        }
+    }
+
+    #[test]
+    fn sharding_divides_both_phases_and_the_wall_clock() {
+        let cfg = RunnerConfig::paper(CoreClass::NicArm, 16);
+        let cpu = CpuModel::mount_evans();
+        const FULL: u64 = 417_792;
+        let one = sharded_iteration_cost(cfg, cpu, 1, FULL);
+        let four = sharded_iteration_cost(cfg, cpu, 4, FULL);
+        // Across agents *both* phases divide — the serial scan too,
+        // unlike adding threads within one agent.
+        let serial_ratio = four.serial_phase().as_ns() as f64 / one.serial_phase().as_ns() as f64;
+        assert!(
+            (serial_ratio - 0.25).abs() < 0.01,
+            "serial phase ratio {serial_ratio}"
+        );
+        let par_ratio = four.parallel_phase().as_ns() as f64 / one.parallel_phase().as_ns() as f64;
+        assert!(
+            (par_ratio - 0.25).abs() < 0.01,
+            "parallel ratio {par_ratio}"
+        );
+        assert!(four.wall() < one.wall().scale(0.3), "wall did not scale");
+        // And the aggregate view upper-bounds the wall clock.
+        assert!(four.aggregate().total() >= four.wall());
+    }
+
+    #[test]
+    fn closed_form_k1_matches_unsharded_model_bit_identically() {
+        let cfg = RunnerConfig::paper(CoreClass::NicArm, 16);
+        let cpu = CpuModel::mount_evans();
+        const FULL: u64 = 417_792;
+        let sharded = sharded_iteration_cost(cfg, cpu, 1, FULL);
+        let model = SolRunner::new(cfg, cpu).iteration_cost(&mut Interconnect::pcie(), FULL);
+        assert_eq!(sharded.per_shard, vec![model]);
+        assert_eq!(sharded.wall(), model.total());
+    }
+
+    #[test]
+    fn real_legs_match_closed_form_per_shard() {
+        // The runtime-backed sharded iteration must agree with the
+        // closed-form model shard by shard (all batches due at t=0).
+        let fp = world(0.001);
+        let mut k2 = sharded(&fp, 2);
+        let (_, cost) = k2.run_iteration(&fp, SimTime::ZERO);
+        let model = sharded_iteration_cost(
+            RunnerConfig::paper(CoreClass::NicArm, 16),
+            CpuModel::mount_evans(),
+            2,
+            fp.batches() as u64,
+        );
+        assert_eq!(cost, model);
+    }
+
+    #[test]
+    fn epoch_clock_survives_shard_kill_and_restart() {
+        // The epoch cadence is host-side state: killing or restarting
+        // shard 0 (whose policy once held the de-facto clock) must not
+        // make the epoch fire every iteration, nor fire early.
+        let fp = world(0.001);
+        let mut k2 = sharded(&fp, 2);
+        let mut fp_mut = world(0.001);
+        let epoch = SolConfig::paper().epoch;
+        assert!(!k2.epoch_due(SimTime::from_ms(100)));
+        assert!(k2.epoch_due(epoch));
+        k2.epoch_migrate(epoch, &mut fp_mut);
+        assert!(!k2.epoch_due(epoch + SimTime::from_ms(600)));
+
+        k2.kill_shard(0);
+        // One scan period after the first epoch: still not due, even
+        // though the dead shard's policy clock is frozen.
+        assert!(!k2.epoch_due(epoch + SimTime::from_ms(1200)));
+        k2.restart_shard(0, epoch + SimTime::from_ms(1800));
+        // A restart (fresh policy, last_epoch ZERO inside it) must not
+        // make the epoch fire prematurely either.
+        assert!(!k2.epoch_due(epoch + SimTime::from_ms(2400)));
+        assert!(k2.epoch_due(epoch + epoch));
+    }
+
+    #[test]
+    fn dead_shard_is_contained_and_restart_replays_its_slice() {
+        let fp = world(0.001);
+        let mut k2 = sharded(&fp, 2);
+        k2.run_iteration(&fp, SimTime::ZERO);
+        let before = k2.per_shard_shipped();
+
+        k2.kill_shard(1);
+        assert!(!k2.is_shard_running(1));
+        assert!(!k2.shard_runner(1).runtime().unwrap().is_running());
+        // Slots drained atomically by the last dma_out: nothing stuck.
+        assert_eq!(
+            k2.shard_runner(1)
+                .runtime()
+                .unwrap()
+                .slots_ref()
+                .staged_count(),
+            0
+        );
+
+        // Mid-epoch iteration with a dead shard: only shard 0 works.
+        let (stats, cost) = k2.run_iteration(&fp, SimTime::from_ms(600));
+        assert_eq!(cost.per_shard[1], IterationCost::idle());
+        assert!(stats.scanned > 0, "live shard kept scanning");
+        let after_kill = k2.per_shard_shipped();
+        assert_eq!(after_kill[1], before[1], "dead shard shipped nothing");
+
+        // Restart: fresh prior over the slice, every batch due again.
+        k2.restart_shard(1, SimTime::from_ms(1200));
+        assert!(k2.is_shard_running(1));
+        let slice = k2.shard_slice(1);
+        let (stats, _) = k2.run_iteration(&fp, SimTime::from_ms(1200));
+        assert!(
+            stats.scanned as usize >= slice.len(),
+            "restarted shard must rescan its whole slice"
+        );
+        assert!(
+            k2.per_shard_shipped()[1] > after_kill[1],
+            "restarted shard ships replayed decisions"
+        );
+    }
+}

@@ -79,10 +79,19 @@ pub struct SolStats {
 }
 
 /// The SOL agent policy state.
+///
+/// A policy may manage the whole batch space (`base == 0`, the
+/// single-agent deployment) or a contiguous slice of it
+/// ([`SolPolicy::with_base`], one slice per shard of a sharded
+/// deployment). All batch indices crossing the API — due lists, scan
+/// lists, flips, migrations — are **global**; the base offset is an
+/// internal translation onto the local state vector.
 #[derive(Debug)]
 pub struct SolPolicy {
     cfg: SolConfig,
     batches: Vec<BatchState>,
+    /// Global index of local batch 0 (the shard's slice start).
+    base: usize,
     last_epoch: SimTime,
     /// Classification flips observed by the most recent iteration —
     /// the migration decisions the agent stages back to the host.
@@ -92,6 +101,13 @@ pub struct SolPolicy {
 impl SolPolicy {
     /// Creates the policy over `n` batches with an uninformative prior.
     pub fn new(cfg: SolConfig, n: usize) -> Self {
+        Self::with_base(cfg, n, 0)
+    }
+
+    /// Creates the policy over the global batch slice
+    /// `[base, base + n)` — one shard's share of a partitioned address
+    /// space.
+    pub fn with_base(cfg: SolConfig, n: usize, base: usize) -> Self {
         assert!(n > 0, "need at least one batch");
         SolPolicy {
             cfg,
@@ -106,6 +122,7 @@ impl SolPolicy {
                 };
                 n
             ],
+            base,
             last_epoch: SimTime::ZERO,
             flips: Vec::new(),
         }
@@ -116,24 +133,29 @@ impl SolPolicy {
         self.batches.len()
     }
 
+    /// Global index of the first managed batch (0 unless sharded).
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
     /// Whether the policy manages no batches (never true).
     pub fn is_empty(&self) -> bool {
         self.batches.is_empty()
     }
 
-    /// Posterior mean for a batch (test/telemetry).
+    /// Posterior mean for a (global) batch index (test/telemetry).
     pub fn posterior_mean(&self, i: usize) -> f64 {
-        let b = &self.batches[i];
+        let b = &self.batches[i - self.base];
         b.alpha / (b.alpha + b.beta)
     }
 
-    /// Which batches are due for a scan at `now`.
+    /// Which (global) batches are due for a scan at `now`.
     pub fn due_batches(&self, now: SimTime) -> Vec<usize> {
         self.batches
             .iter()
             .enumerate()
             .filter(|(_, b)| b.next_scan <= now)
-            .map(|(i, _)| i)
+            .map(|(i, _)| self.base + i)
             .collect()
     }
 
@@ -150,9 +172,9 @@ impl SolPolicy {
         self.iterate_batches(now, &due, workload, rng)
     }
 
-    /// Like [`SolPolicy::iterate`], but scans an explicit batch list —
-    /// the agent-side entry point, fed by the PTE deltas polled off the
-    /// runtime's DMA ingest leg rather than recomputed locally.
+    /// Like [`SolPolicy::iterate`], but scans an explicit (global) batch
+    /// list — the agent-side entry point, fed by the PTE deltas polled
+    /// off the runtime's DMA ingest leg rather than recomputed locally.
     pub fn iterate_batches(
         &mut self,
         now: SimTime,
@@ -167,7 +189,7 @@ impl SolPolicy {
         };
         for &i in due {
             let touched = workload.sample_access(i, rng);
-            let b = &mut self.batches[i];
+            let b = &mut self.batches[i - self.base];
             if touched {
                 b.alpha += 1.0;
             } else {
@@ -204,8 +226,8 @@ impl SolPolicy {
     }
 
     /// Classification flips from the most recent iteration, in scan
-    /// order: `(batch, now_hot)`. These are what the agent stages into
-    /// its decision slots and ships back to the host (§4.2).
+    /// order: `(global_batch, now_hot)`. These are what the agent stages
+    /// into its decision slots and ships back to the host (§4.2).
     pub fn flips(&self) -> &[(usize, bool)] {
         &self.flips
     }
@@ -222,11 +244,12 @@ impl SolPolicy {
         let mut demoted = 0;
         let mut promoted = 0;
         for (i, b) in self.batches.iter().enumerate() {
-            if b.classified_hot && !footprint.is_resident(i) {
-                footprint.promote(i);
+            let g = self.base + i;
+            if b.classified_hot && !footprint.is_resident(g) {
+                footprint.promote(g);
                 promoted += 1;
-            } else if !b.classified_hot && footprint.is_resident(i) {
-                footprint.demote(i);
+            } else if !b.classified_hot && footprint.is_resident(g) {
+                footprint.demote(g);
                 demoted += 1;
             }
         }
@@ -244,7 +267,7 @@ impl SolPolicy {
             .batches
             .iter()
             .enumerate()
-            .filter(|(i, b)| b.classified_hot == workload.is_hot(*i))
+            .filter(|(i, b)| b.classified_hot == workload.is_hot(self.base + *i))
             .count();
         correct as f64 / self.batches.len() as f64
     }
@@ -352,6 +375,35 @@ mod tests {
         c.iterate(SimTime::ZERO, &fp, &mut rng);
         assert!(!c.flips().is_empty());
         assert!(c.flips().iter().all(|&(_, hot)| !hot), "hot -> cold only");
+    }
+
+    #[test]
+    fn base_offset_policy_speaks_global_indices() {
+        let cfg = FootprintConfig::paper(0.002);
+        let mut fp = DbFootprint::new(cfg, AccessPattern::Scattered, 7);
+        let n = fp.batches();
+        let (base, len) = (n / 2, n - n / 2);
+        let mut shard = SolPolicy::with_base(SolConfig::paper(), len, base);
+        assert_eq!(shard.base(), base);
+        assert_eq!(shard.len(), len);
+
+        // Everything is due at t=0, reported in global coordinates.
+        let due = shard.due_batches(SimTime::ZERO);
+        assert_eq!(due.first(), Some(&base));
+        assert_eq!(due.last(), Some(&(n - 1)));
+
+        // The shard scans its global slice and flips global indices.
+        let mut rng = wave_sim::rng(11);
+        let stats = shard.iterate_batches(SimTime::ZERO, &due, &fp, &mut rng);
+        assert_eq!(stats.scanned as usize, len);
+        assert!(!shard.flips().is_empty());
+        assert!(shard.flips().iter().all(|&(b, _)| (base..n).contains(&b)));
+
+        // Epoch migration only ever touches the shard's own slice.
+        shard.epoch_migrate(SolConfig::paper().epoch, &mut fp);
+        for i in 0..base {
+            assert!(fp.is_resident(i), "batch {i} outside the slice moved");
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! initiator blocks until completion) and [`DmaMode::Async`] (the
 //! initiator pays only the doorbell cost and later observes completion).
 //! A single engine serializes transfers, so queueing delay emerges under
-//! load.
+//! load — but *only* under genuine overlap: a transfer issued after the
+//! engine drains sees no queueing, which is what lets periodic callers
+//! (e.g. the memory agent's 600 ms scan cadence) issue their legs on the
+//! shared wall clock and still get comparable per-iteration timings.
 
 use crate::config::{PcieConfig, Side};
 use wave_sim::SimTime;
@@ -202,6 +205,32 @@ mod tests {
         );
         assert_eq!(e.transfers(), 2);
         assert_eq!(e.bytes_moved(), (1 << 20) + 64);
+    }
+
+    #[test]
+    fn idle_engine_does_not_queue_later_transfers() {
+        // The property the retired per-iteration DMA clock violated:
+        // two identical transfers far enough apart that the engine
+        // drains in between must see identical relative latencies —
+        // queueing delay exists only under genuine overlap.
+        let mut e = engine();
+        let t1 = e.transfer(
+            SimTime::ZERO,
+            1 << 20,
+            DmaDirection::HostToNic,
+            DmaMode::Async,
+            Side::Host,
+        );
+        let later = SimTime::from_ms(600);
+        assert!(e.busy_until() < later, "engine drained between periods");
+        let t2 = e.transfer(
+            later,
+            1 << 20,
+            DmaDirection::HostToNic,
+            DmaMode::Async,
+            Side::Host,
+        );
+        assert_eq!(t2.complete_at - later, t1.complete_at, "no queueing");
     }
 
     #[test]

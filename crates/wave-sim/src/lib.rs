@@ -18,6 +18,8 @@
 //! * [`cpu`] and [`turbo`] model host x86 cores vs. SmartNIC ARM cores,
 //!   SMT siblings, per-workload-class slowdown ratios, and the bracketed
 //!   turbo-boost governor needed for the paper's Figure 5.
+//! * [`par`] fans independent simulation units (experiment grid cells,
+//!   agent shards) out across OS threads without affecting determinism.
 //!
 //! ## Example
 //!
@@ -42,6 +44,7 @@
 pub mod cpu;
 pub mod dist;
 pub mod engine;
+pub mod par;
 pub mod stats;
 pub mod time;
 pub mod turbo;
