@@ -1,0 +1,26 @@
+//! Regenerates the dynamic-rebalancing skew sweep (both agents, static
+//! vs dynamic partitions) and benchmarks the memory-agent dynamic cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_lab::rebalance::{run_mem, RebalanceSweepConfig};
+
+fn rebalance_sweep(c: &mut Criterion) {
+    bench::banner("dynamic shard rebalancing under skewed load (static baseline vs measured)");
+    let cfg = RebalanceSweepConfig::quick();
+    wave_lab::rebalance::report(&cfg).print();
+
+    c.bench_function("rebalance_mem_dynamic_cell", |b| {
+        b.iter(|| black_box(run_mem(&cfg, true)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = rebalance_sweep
+}
+criterion_main!(benches);

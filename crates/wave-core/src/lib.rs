@@ -32,6 +32,11 @@
 //!   ingest transport (MMIO message queues for the scheduler, batched
 //!   delta-compressed DMA for the memory manager). Sharded deployments
 //!   instantiate one [`runtime::AgentRuntime`] per agent.
+//! * [`shard_map`] — dynamic, load-aware shard ownership on top of the
+//!   runtime layer: a generation-stamped [`shard_map::ShardMap`] from
+//!   resource index to owning shard plus a pluggable, epoch-driven
+//!   [`shard_map::Rebalancer`], used by both sharded agents to move
+//!   cores/batches between shards when load counters stay skewed.
 //! * [`watchdog`] — the per-component on-host watchdog (§3.3: kill an
 //!   agent that has made no decision for >20 ms).
 //! * [`opts`] — the optimization toggles of §5.3/§5.4, used by every
@@ -41,6 +46,7 @@ pub mod agent;
 pub mod channel;
 pub mod opts;
 pub mod runtime;
+pub mod shard_map;
 pub mod txn;
 pub mod watchdog;
 
@@ -49,6 +55,10 @@ pub use channel::{ChannelConfig, CommitOutcome, MsixMode, WaveChannel};
 pub use opts::OptLevel;
 pub use runtime::{
     AgentRuntime, DmaShipment, ResourcePolicy, RuntimeConfig, SlotId, SlotTable, StageCost,
+};
+pub use shard_map::{
+    FeedDemand, RebalanceConfig, RebalanceEvent, RebalancePolicy, Rebalancer, ResourceMove,
+    ShardMap, ShedLoad,
 };
 pub use txn::{GenerationTable, ResourceRef, Txn, TxnId, TxnOutcome, TxnOutcomeRecord};
 pub use watchdog::Watchdog;

@@ -301,6 +301,28 @@ impl<D: Copy> SlotTable<D> {
         cost
     }
 
+    /// Agent-side handoff: removes and returns `slot`'s staged decision
+    /// without a host read — used when the slot's resource moves to a
+    /// different shard (dynamic rebalancing) and the pending decision
+    /// must be re-queued with the new owner instead of being consumed
+    /// here. Taking a staged decision costs one local word write (like
+    /// a revoke); an empty slot costs nothing — no word is written, so
+    /// no line is dirtied. Counts as neither hit nor miss, since the
+    /// host never observed the slot.
+    pub fn take_staged(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        slot: SlotId,
+    ) -> (SimTime, Option<D>) {
+        let Some(staged) = self.slots[slot.0 as usize].take() else {
+            return (SimTime::ZERO, None);
+        };
+        let cost = ic.soc.access(self.nic_pte, 1);
+        ic.mmio.note_device_write(self.line(slot), now + cost);
+        (cost, Some(staged.decision))
+    }
+
     /// Agent revokes a staged decision (e.g. the resource died before
     /// the host consumed it). Returns the agent CPU cost.
     pub fn revoke(&mut self, now: SimTime, ic: &mut Interconnect, slot: SlotId) -> SimTime {
@@ -473,6 +495,9 @@ pub struct AgentRuntime<M, D: Copy> {
     slots: SlotTable<D>,
     pump_armed: bool,
     pickup: SimTime,
+    /// Load events since the last [`AgentRuntime::take_load`] — the
+    /// counter a [`crate::shard_map::Rebalancer`] samples per epoch.
+    load_events: u64,
 }
 
 impl<M, D: Copy> AgentRuntime<M, D> {
@@ -510,6 +535,7 @@ impl<M, D: Copy> AgentRuntime<M, D> {
             slots,
             pump_armed: false,
             pickup: cfg.pickup,
+            load_events: 0,
         }
     }
 
@@ -653,7 +679,12 @@ impl<M, D: Copy> AgentRuntime<M, D> {
             if !self.slots.is_staged(slot)
                 && self.stage_with(now, ic, policy, slot, stage_cost, cost)
             {
-                self.agent.record_decision(now + *cost);
+                // Through the runtime's own recorder so prestaged
+                // decisions count as load events too — under heavy load
+                // nearly every decision is a prestage, and a rebalancer
+                // fed only the kick-path count would read a *busy*
+                // shard as idle.
+                self.record_decision(now + *cost);
                 staged += 1;
             }
         }
@@ -730,13 +761,35 @@ impl<M, D: Copy> AgentRuntime<M, D> {
     }
 
     /// Records a produced decision (watchdog liveness + telemetry).
+    /// Also counts one load event toward the rebalance epoch.
     pub fn record_decision(&mut self, at: SimTime) {
         self.agent.record_decision(at);
+        self.load_events += 1;
     }
 
     /// Decisions produced so far.
     pub fn decisions(&self) -> u64 {
         self.agent.decisions()
+    }
+
+    // --- Load accounting (rebalancing) ----------------------------------
+
+    /// Adds `n` load events that are not decisions (e.g. the memory
+    /// agent's due-batch scans) toward the rebalance epoch.
+    pub fn note_load(&mut self, n: u64) {
+        self.load_events += n;
+    }
+
+    /// Drains and returns the load-event counter — called once per
+    /// rebalance epoch by the shard owner, which feeds the value to
+    /// [`crate::shard_map::Rebalancer::record`].
+    pub fn take_load(&mut self) -> u64 {
+        std::mem::take(&mut self.load_events)
+    }
+
+    /// Load events accumulated since the last drain (telemetry).
+    pub fn load_events(&self) -> u64 {
+        self.load_events
     }
 }
 

@@ -97,6 +97,24 @@ impl SchedPolicy for MultiQueueShinjuku {
         self.depth
     }
 
+    fn class_depths_into(&self, out: &mut Vec<(SloClass, usize)>) {
+        out.extend(
+            self.queues
+                .iter()
+                .enumerate()
+                .map(|(i, (_, q))| (SloClass(i as u8), q.len())),
+        );
+    }
+
+    fn pick_class(&mut self, _now: SimTime, class: SloClass) -> Option<Tid> {
+        let idx = self.class_index(class);
+        let picked = self.queues[idx].1.pop_front().map(|(tid, _)| tid);
+        if picked.is_some() {
+            self.depth -= 1;
+        }
+        picked
+    }
+
     fn time_slice(&self) -> Option<SimTime> {
         Some(self.slice)
     }
@@ -144,6 +162,28 @@ mod tests {
         p.on_runnable(SimTime::ZERO, Tid(5), meta(0, 9));
         assert_eq!(p.queue_depth(), 1);
         assert_eq!(p.pick_next(SimTime::from_us(1)), Some(Tid(5)));
+    }
+
+    #[test]
+    fn class_depths_and_pick_class_are_per_queue() {
+        let mut p = MultiQueueShinjuku::paper_default();
+        p.on_runnable(SimTime::ZERO, Tid(1), meta(0, 0));
+        p.on_runnable(SimTime::ZERO, Tid(2), meta(0, 1));
+        p.on_runnable(SimTime::ZERO, Tid(3), meta(0, 1));
+        assert_eq!(
+            p.class_depths(),
+            vec![(SloClass(0), 1), (SloClass(1), 2)],
+            "ascending class id, per-queue depth"
+        );
+        // Pick from the throughput class without disturbing the
+        // latency queue.
+        assert_eq!(p.pick_class(SimTime::from_us(1), SloClass(1)), Some(Tid(2)));
+        assert_eq!(p.queue_depth(), 2);
+        assert_eq!(p.class_depths()[0], (SloClass(0), 1));
+        // Draining an empty class yields nothing and keeps depth sane.
+        assert_eq!(p.pick_class(SimTime::from_us(1), SloClass(1)), Some(Tid(3)));
+        assert_eq!(p.pick_class(SimTime::from_us(1), SloClass(1)), None);
+        assert_eq!(p.queue_depth(), 1);
     }
 
     #[test]

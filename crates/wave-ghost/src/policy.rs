@@ -60,6 +60,35 @@ pub trait SchedPolicy {
     /// Number of runnable-but-unscheduled threads.
     fn queue_depth(&self) -> usize;
 
+    /// Appends the per-SLO-class backlog to `out`, in ascending
+    /// class-id order (the convention is that lower class ids carry
+    /// tighter SLOs, as in [`MultiQueueShinjuku::paper_default`]).
+    /// Single-queue policies report their whole depth under
+    /// [`SloClass::DEFAULT`]. This is the allocation-free primitive
+    /// the steal hot path drives with a reused scratch buffer;
+    /// override it, not [`SchedPolicy::class_depths`].
+    ///
+    /// [`MultiQueueShinjuku::paper_default`]: crate::policies::MultiQueueShinjuku::paper_default
+    fn class_depths_into(&self, out: &mut Vec<(SloClass, usize)>) {
+        out.push((SloClass::DEFAULT, self.queue_depth()));
+    }
+
+    /// Convenience wrapper over [`SchedPolicy::class_depths_into`]
+    /// returning a fresh list (tests, telemetry).
+    fn class_depths(&self) -> Vec<(SloClass, usize)> {
+        let mut out = Vec::new();
+        self.class_depths_into(&mut out);
+        out
+    }
+
+    /// Picks the next thread of `class`, removing it from the run
+    /// queue — the class-aware steal entry point. Policies without
+    /// per-class queues ignore the class and behave like
+    /// [`SchedPolicy::pick_next`].
+    fn pick_class(&mut self, now: SimTime, _class: SloClass) -> Option<Tid> {
+        self.pick_next(now)
+    }
+
     /// The preemption time slice, or `None` for run-to-completion.
     fn time_slice(&self) -> Option<SimTime> {
         None
@@ -80,6 +109,46 @@ pub trait SchedPolicy {
     }
 }
 
+/// Class-aware steal victim selection: the sibling shard and SLO class
+/// an idle thief should pull from.
+///
+/// The pre-rebalance steal pulled from the sibling with the deepest
+/// *raw* run queue, which lets a throughput-class flood (5 ms SLO, deep
+/// by design) permanently outbid a latency-class backlog two slots
+/// deep. This selection is per class instead: classes are served in
+/// ascending class-id order (tighter SLO first, by the
+/// [`SchedPolicy::class_depths`] convention), and only *within* a class
+/// does depth pick the victim shard (lowest shard index on ties). For
+/// single-class policies this degenerates to exactly the old
+/// deepest-sibling rule.
+pub fn steal_victim<'a>(
+    policies: impl IntoIterator<Item = &'a dyn SchedPolicy>,
+    thief: usize,
+) -> Option<(usize, SloClass)> {
+    let mut best: Option<(usize, SloClass, usize)> = None;
+    let mut depths = Vec::new(); // one scratch buffer, reused per sibling
+    for (j, p) in policies.into_iter().enumerate() {
+        if j == thief {
+            continue;
+        }
+        depths.clear();
+        p.class_depths_into(&mut depths);
+        for &(class, depth) in &depths {
+            if depth == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, bc, bd)) => class < bc || (class == bc && depth > bd),
+            };
+            if better {
+                best = Some((j, class, depth));
+            }
+        }
+    }
+    best.map(|(j, class, _)| (j, class))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +158,68 @@ mod tests {
         let m = ThreadMeta::at(SimTime::from_us(5));
         assert_eq!(m.slo, SloClass::DEFAULT);
         assert_eq!(m.arrival, SimTime::from_us(5));
+    }
+
+    #[test]
+    fn steal_victim_single_class_is_deepest_sibling() {
+        use crate::policies::FifoPolicy;
+        let mut a = FifoPolicy::new();
+        let mut b = FifoPolicy::new();
+        for t in 0..3u64 {
+            a.on_runnable(SimTime::ZERO, Tid(t), ThreadMeta::at(SimTime::ZERO));
+        }
+        for t in 10..15u64 {
+            b.on_runnable(SimTime::ZERO, Tid(t), ThreadMeta::at(SimTime::ZERO));
+        }
+        let empty = FifoPolicy::new();
+        let views: Vec<&dyn SchedPolicy> = vec![&empty, &a, &b];
+        // Thief 0: shard 2 is deepest; everything is the default class.
+        assert_eq!(
+            steal_victim(views.iter().copied(), 0),
+            Some((2, SloClass::DEFAULT))
+        );
+        // No sibling backlog at all: no victim.
+        let e2 = FifoPolicy::new();
+        let views: Vec<&dyn SchedPolicy> = vec![&empty, &e2];
+        assert_eq!(steal_victim(views.iter().copied(), 0), None);
+    }
+
+    #[test]
+    fn steal_victim_latency_class_not_starved_by_throughput_depth() {
+        use crate::policies::MultiQueueShinjuku;
+        // Victim 1 holds a 100-deep *throughput*-class (class 1) flood;
+        // victim 2 holds two *latency*-class (class 0) threads. The old
+        // deepest-raw-queue rule would pick shard 1 forever; the
+        // class-aware rule must serve the latency backlog first.
+        let mut flood = MultiQueueShinjuku::paper_default();
+        for t in 0..100u64 {
+            let meta = ThreadMeta {
+                arrival: SimTime::ZERO,
+                slo: SloClass(1),
+            };
+            flood.on_runnable(SimTime::ZERO, Tid(t), meta);
+        }
+        let mut latency = MultiQueueShinjuku::paper_default();
+        for t in 200..202u64 {
+            let meta = ThreadMeta {
+                arrival: SimTime::ZERO,
+                slo: SloClass(0),
+            };
+            latency.on_runnable(SimTime::ZERO, Tid(t), meta);
+        }
+        let thief = MultiQueueShinjuku::paper_default();
+        let views: Vec<&dyn SchedPolicy> = vec![&thief, &flood, &latency];
+        assert_eq!(
+            steal_victim(views.iter().copied(), 0),
+            Some((2, SloClass(0)))
+        );
+        // Within one class, depth still picks the shard: once the
+        // latency backlog drains, the flood is next.
+        let drained = MultiQueueShinjuku::paper_default();
+        let views: Vec<&dyn SchedPolicy> = vec![&thief, &flood, &drained];
+        assert_eq!(
+            steal_victim(views.iter().copied(), 0),
+            Some((1, SloClass(1)))
+        );
     }
 }

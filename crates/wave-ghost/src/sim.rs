@@ -16,18 +16,37 @@
 //!
 //! **Sharding (§6 scale-out):** the agent machinery lives in
 //! [`wave_core::runtime::AgentRuntime`], and [`SchedConfig::agents`]
-//! instantiates N of them, each owning a static contiguous slice of the
-//! worker cores with its own message queue, decision slots, and policy
-//! run queue. New-thread wakeups are routed round-robin (`tid % agents`);
-//! core-bound events go to the core's owning shard. With
-//! [`SchedConfig::steal`] an idle shard whose run queue is empty pulls
-//! work from the deepest sibling run queue before leaving a core idle.
+//! instantiates N of them. Core ownership lives in a generation-stamped
+//! [`ShardMap`]; without rebalancing it is the static contiguous
+//! partition of [`shard_range`] and never changes (bit-identical to the
+//! pre-map slices). New-thread wakeups are routed round-robin
+//! (`tid % agents`, or per [`SchedConfig::wakeup_weights`] when the
+//! experiment wants a skewed offered load); core-bound events go to the
+//! core's owning shard. With [`SchedConfig::steal`] an idle shard whose
+//! run queue is empty pulls work from a sibling — victims chosen **per
+//! SLO class** ([`crate::policy::steal_victim`]: tightest class first,
+//! depth only within a class), so a latency-class backlog is never
+//! starved by throughput-class depth.
+//!
+//! **Dynamic rebalancing:** with [`SchedConfig::rebalance`] set, a
+//! host-side [`Rebalancer`] samples per-shard decision rates
+//! ([`AgentRuntime::take_load`]) every epoch and — when the rates stay
+//! skewed — *moves cores between shards* ([`FeedDemand`]: the busiest
+//! agent gains cores from the idlest). A moved core's staged-but-
+//! unconsumed decision is taken out of the donor's slot table and its
+//! thread re-enqueued with the recipient's policy, so no pick is lost;
+//! everything else the recipient needs (core idle/busy state, thread
+//! tables) already lives host-side. Rebalancing off (the default) is
+//! pinned bit-identical to the static partition.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rand::rngs::SmallRng;
 use wave_core::runtime::{
     shard_range, AgentRuntime, ResourcePolicy, RuntimeConfig, SlotId, StageCost,
+};
+use wave_core::shard_map::{
+    FeedDemand, RebalanceConfig, RebalanceEvent, Rebalancer, ResourceMove, ShardMap,
 };
 use wave_core::txn::{GenerationTable, TxnId};
 use wave_core::{AgentId, OptLevel};
@@ -39,7 +58,7 @@ use wave_sim::{Sim, SimTime};
 
 use crate::cost::CostModel;
 use crate::msg::{CpuId, SchedMsg, SchedMsgKind, Tid};
-use crate::policy::{SchedPolicy, SloClass, ThreadMeta};
+use crate::policy::{steal_victim, SchedPolicy, SloClass, ThreadMeta};
 use crate::slots::SlotDecision;
 
 /// Where the agent runs.
@@ -182,12 +201,26 @@ pub struct SchedConfig {
     /// Number of worker cores running request threads.
     pub workers: u32,
     /// Number of agents the worker cores are sharded across (§6
-    /// scale-out). Each agent owns a static contiguous core slice with
-    /// its own message queue, decision slots, and policy instance.
+    /// scale-out). Each agent starts with a contiguous core slice
+    /// ([`ShardMap::contiguous`]) and its own message queue, decision
+    /// slots, and policy instance.
     pub agents: u32,
     /// Whether an idle shard with an empty run queue may steal work
-    /// from the deepest sibling run queue (multi-agent only).
+    /// from a sibling run queue (multi-agent only; victims chosen per
+    /// SLO class, see [`crate::policy::steal_victim`]).
     pub steal: bool,
+    /// Dynamic core rebalancing: when set, a host-side [`Rebalancer`]
+    /// samples per-shard decision rates on this epoch and moves cores
+    /// from idle to busy agents while the rates stay skewed
+    /// ([`FeedDemand`]). `None` (the default) keeps the static
+    /// partition, bit-identical to the pre-map behavior.
+    pub rebalance: Option<RebalanceConfig>,
+    /// Weighted routing of new-thread wakeups across the agent shards
+    /// (skewed-load experiments): thread `tid` goes to the shard whose
+    /// cumulative weight bucket contains `tid % total_weight`. `None`
+    /// routes round-robin (`tid % agents`). A zero weight starves that
+    /// shard of *new* threads (it still serves its cores' events).
+    pub wakeup_weights: Option<Vec<u32>>,
     /// Agent placement.
     pub placement: Placement,
     /// Wave optimization level (ignored mappings for on-host).
@@ -227,6 +260,8 @@ impl SchedConfig {
             workers,
             agents: 1,
             steal: false,
+            rebalance: None,
+            wakeup_weights: None,
             placement,
             opts,
             cost: CostModel::calibrated(),
@@ -267,6 +302,13 @@ pub struct SchedReport {
     pub agent_decisions: u64,
     /// Decisions per agent shard (length = `agents`).
     pub per_agent_decisions: Vec<u64>,
+    /// Request latency per SLO class, ascending class id (only classes
+    /// that completed requests appear).
+    pub latency_by_class: Vec<(SloClass, Summary)>,
+    /// The rebalancer's epoch history (empty when rebalancing is off):
+    /// per-shard decision-rate samples and the committed core moves,
+    /// generation-stamped.
+    pub rebalance: Vec<RebalanceEvent>,
     /// Diagnostic counters (kick/commit pathology analysis).
     pub diag: Diag,
 }
@@ -294,6 +336,11 @@ pub struct Diag {
     pub preempt_switch: u64,
     /// Decisions an idle shard stole from a sibling's run queue.
     pub steals: u64,
+    /// Cores moved between shards by the rebalancer.
+    pub rebalance_moves: u64,
+    /// Staged decisions handed off (re-enqueued with the new owner)
+    /// because their core moved shards.
+    pub rebalance_handoffs: u64,
     /// Requests still outstanding at the end of the run.
     pub outstanding_at_end: u64,
 }
@@ -341,13 +388,18 @@ struct PickProducer<'a> {
     policy: &'a mut dyn SchedPolicy,
     gen: &'a GenerationTable,
     next_txn: &'a mut u64,
+    /// `Some` restricts the pick to one SLO class (class-aware steal).
+    class: Option<SloClass>,
 }
 
 impl ResourcePolicy for PickProducer<'_> {
     type Decision = SlotDecision;
 
     fn produce(&mut self, now: SimTime, _slot: SlotId) -> Option<SlotDecision> {
-        let tid = self.policy.pick_next(now)?;
+        let tid = match self.class {
+            Some(c) => self.policy.pick_class(now, c)?,
+            None => self.policy.pick_next(now)?,
+        };
         // Thread vanished between message and pick; drop it.
         let target = self.gen.snapshot(tid.0)?;
         let txn = TxnId(*self.next_txn);
@@ -378,10 +430,24 @@ pub struct SchedSim {
     cfg: SchedConfig,
     ic: Interconnect,
     shards: Vec<Shard>,
-    /// Global core index → owning shard.
-    core_shard: Vec<u32>,
-    /// First global core index of each shard (for local slot ids).
-    shard_start: Vec<u32>,
+    /// Generation-stamped core-ownership map (static contiguous until a
+    /// rebalance commits).
+    map: ShardMap,
+    /// Per-shard slot-id base: a core's slot in its owner's table is
+    /// `cpu − slot_base[owner]`. Static deployments keep slice-sized
+    /// tables (base = slice start); rebalancing deployments map every
+    /// shard's table over all cores (base = 0) so ownership can move
+    /// without re-mapping SmartNIC DRAM.
+    slot_base: Vec<u32>,
+    /// Cached ascending core list per shard, rebuilt on rebalance
+    /// commits (keeps the pump hot path allocation-free).
+    owned_cores: Vec<Vec<u32>>,
+    /// The host-side rebalance driver, when enabled.
+    rebalancer: Option<Rebalancer>,
+    /// Precomputed weighted-routing table `(cumulative bounds, total)`
+    /// for [`SchedConfig::wakeup_weights`] — arrivals pay one mod plus
+    /// a bucket probe instead of re-summing the weights.
+    wakeup_route: Option<(Vec<u64>, u64)>,
     gen: GenerationTable,
     threads: HashMap<u64, ThreadState>,
     cores: Vec<CoreState>,
@@ -392,6 +458,8 @@ pub struct SchedSim {
     run_token: u64,
     outstanding: usize,
     lat: Histogram,
+    /// Per-SLO-class latency histograms (key: class id).
+    lat_by_class: BTreeMap<u8, Histogram>,
     completed_measured: u64,
     dropped: u64,
     agent_core: CoreClass,
@@ -440,25 +508,43 @@ impl SchedSim {
             Placement::OnHost => (PcieConfig::host_local(), CoreClass::HostX86, false),
             Placement::Offloaded => (cfg.interconnect.clone(), CoreClass::NicArm, true),
         };
+        if let Some(w) = &cfg.wakeup_weights {
+            assert_eq!(
+                w.len(),
+                cfg.agents as usize,
+                "one wakeup weight per agent shard"
+            );
+            assert!(
+                w.iter().any(|&x| x > 0),
+                "wakeup weights must not all be zero"
+            );
+        }
         let mut ic = Interconnect::new(pcfg);
         let mut shards = Vec::with_capacity(cfg.agents as usize);
-        let mut core_shard = vec![0u32; cfg.workers as usize];
-        let mut shard_start = Vec::with_capacity(cfg.agents as usize);
+        // Core ownership starts as the static contiguous partition —
+        // the same one the sharded memory manager applies to its batch
+        // space — and only a rebalance commit ever changes it.
+        let map = ShardMap::contiguous(cfg.workers as usize, cfg.agents);
+        let rebalancing = cfg.rebalance.is_some();
+        let mut slot_base = Vec::with_capacity(cfg.agents as usize);
         for (i, policy) in policies.into_iter().enumerate() {
-            // Static contiguous slices, balanced to within one core —
-            // the same partition the sharded memory manager applies to
-            // its batch space.
             let slice = shard_range(cfg.workers as usize, cfg.agents as usize, i);
             let (start, end) = (slice.start as u32, slice.end as u32);
-            shard_start.push(start);
-            for c in start..end {
-                core_shard[c as usize] = i as u32;
-            }
+            // Static deployments size each slot table to the shard's
+            // slice (bit-identical to the pre-map layout); rebalancing
+            // deployments map every table over all cores so a core can
+            // change owners without re-mapping SmartNIC DRAM.
+            let (base, slots) = if rebalancing {
+                (0, cfg.workers)
+            } else {
+                (start, end - start)
+            };
+            slot_base.push(base);
             let rcfg = RuntimeConfig {
                 queue_capacity: 4096,
                 msg_words: cfg.cost.msg_words,
                 decision_words: cfg.cost.decision_words,
-                slots: end - start,
+                slots,
                 // The scheduler is the µs-scale agent: MMIO queues (§4.1).
                 msg_transport: wave_queue::Transport::Mmio,
                 wire_bytes_per_msg: None,
@@ -472,12 +558,38 @@ impl SchedSim {
         }
         let inter_arrival = Exp::new(cfg.offered / 1e9); // events per ns
         let rng = wave_sim::rng(cfg.seed);
+        let owned_cores = (0..cfg.agents)
+            .map(|i| map.resources_of(i).map(|r| r as u32).collect())
+            .collect();
+        let rebalancer = cfg.rebalance.map(|rc| {
+            // Decision rates are demand the cores *serve*: feed the
+            // busiest shard, never draining a sibling below one core.
+            let policy = FeedDemand {
+                max_moves: (cfg.workers as usize / 4).max(1),
+                min_resources: 1,
+            };
+            Rebalancer::new(rc, Box::new(policy), cfg.agents)
+        });
+        let wakeup_route = cfg.wakeup_weights.as_ref().map(|w| {
+            let cum: Vec<u64> = w
+                .iter()
+                .scan(0u64, |acc, &x| {
+                    *acc += x as u64;
+                    Some(*acc)
+                })
+                .collect();
+            let total = *cum.last().expect("weights validated non-empty");
+            (cum, total)
+        });
         SchedSim {
             cores: vec![CoreState::Idle { waiting: true }; cfg.workers as usize],
             ic,
             shards,
-            core_shard,
-            shard_start,
+            map,
+            slot_base,
+            owned_cores,
+            rebalancer,
+            wakeup_route,
             gen: GenerationTable::new(),
             threads: HashMap::new(),
             rng,
@@ -487,6 +599,7 @@ impl SchedSim {
             run_token: 0,
             outstanding: 0,
             lat: Histogram::new(),
+            lat_by_class: BTreeMap::new(),
             completed_measured: 0,
             dropped: 0,
             agent_core,
@@ -498,25 +611,28 @@ impl SchedSim {
         }
     }
 
-    /// Shard owning a worker core.
+    /// Shard owning a worker core (dynamic: follows rebalance commits).
     fn shard_of(&self, cpu: CpuId) -> usize {
-        self.core_shard[cpu.0 as usize] as usize
+        self.map.owner(cpu.0 as usize) as usize
     }
 
     /// A core's slot index within its owning shard's slot table.
     fn local_slot(&self, cpu: CpuId) -> SlotId {
-        SlotId(cpu.0 - self.shard_start[self.shard_of(cpu)])
+        SlotId(cpu.0 - self.slot_base[self.shard_of(cpu)])
     }
 
-    /// Global core range owned by shard `si`.
-    fn shard_cores(&self, si: usize) -> std::ops::Range<u32> {
-        let start = self.shard_start[si];
-        let end = self
-            .shard_start
-            .get(si + 1)
-            .copied()
-            .unwrap_or(self.cfg.workers);
-        start..end
+    /// Rebuilds the per-shard owned-core cache from the map (after a
+    /// rebalance commit).
+    fn rebuild_owned_cores(&mut self) {
+        for (i, cache) in self.owned_cores.iter_mut().enumerate() {
+            cache.clear();
+            cache.extend(self.map.resources_of(i as u32).map(|r| r as u32));
+        }
+    }
+
+    /// The current core-ownership map (tests/telemetry).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
     }
 
     /// Runs the experiment to completion and reports.
@@ -525,6 +641,11 @@ impl SchedSim {
         sim.set_horizon(self.cfg.duration);
         let first = SimTime::from_ns(1);
         sim.schedule(first, |m: &mut SchedSim, s| m.arrival(s));
+        if let Some(rb) = &self.rebalancer {
+            sim.schedule(rb.config().epoch, |m: &mut SchedSim, s| {
+                m.rebalance_epoch(s)
+            });
+        }
         sim.run(&mut self);
         let window = self.cfg.duration - self.cfg.warmup;
         let achieved = self.completed_measured as f64 / window.as_secs_f64();
@@ -549,6 +670,16 @@ impl SchedSim {
             msix_sent: self.ic.msix.sent(),
             agent_decisions: decisions,
             per_agent_decisions,
+            latency_by_class: self
+                .lat_by_class
+                .iter()
+                .map(|(&c, h)| (SloClass(c), h.summary()))
+                .collect(),
+            rebalance: self
+                .rebalancer
+                .as_ref()
+                .map(|r| r.history().to_vec())
+                .unwrap_or_default(),
             diag: self.diag,
         }
     }
@@ -620,11 +751,11 @@ impl SchedSim {
             },
         );
         // New threads are not yet bound to a core: route the wakeup
-        // round-robin across the agent shards. The load generator core
-        // sends the message (its CPU time is not charged against worker
-        // throughput, matching the paper's setup where the generator has
-        // its own resources).
-        let si = (tid.0 % self.shards.len() as u64) as usize;
+        // round-robin across the agent shards (or by the experiment's
+        // skew weights). The load generator core sends the message (its
+        // CPU time is not charged against worker throughput, matching
+        // the paper's setup where the generator has its own resources).
+        let si = self.route_wakeup(tid);
         let msg = SchedMsg::new(tid, SchedMsgKind::Wakeup, None);
         let (mut cost, delivered) = self.shards[si].rt.host_send(now, &mut self.ic, msg);
         if !delivered {
@@ -638,6 +769,19 @@ impl SchedSim {
         cost += self.shards[si].rt.host_flush(now + cost, &mut self.ic);
         let visible = now + cost + self.ic.one_way();
         self.schedule_agent_pump(sim, si, visible);
+    }
+
+    /// Which shard a new-thread wakeup goes to: deterministic weighted
+    /// round-robin over [`SchedConfig::wakeup_weights`], or plain
+    /// `tid % agents` without weights.
+    fn route_wakeup(&self, tid: Tid) -> usize {
+        match &self.wakeup_route {
+            None => (tid.0 % self.shards.len() as u64) as usize,
+            Some((cum, total)) => {
+                let pos = tid.0 % total;
+                cum.partition_point(|&c| c <= pos)
+            }
+        }
     }
 
     // --- Agent ------------------------------------------------------------
@@ -702,9 +846,12 @@ impl SchedSim {
             }
         }
 
-        // Serve idle, waiting cores first: stage + MSI-X.
+        // Serve idle, waiting cores first: stage + MSI-X. The owned-core
+        // cache is taken out for the duration of the pump (nothing below
+        // touches it; rebalance commits happen in their own event).
+        let owned = std::mem::take(&mut self.owned_cores[si]);
         let mut kicked = Vec::new();
-        for c in self.shard_cores(si) {
+        for &c in &owned {
             let cpu = CpuId(c);
             if !matches!(self.cores[c as usize], CoreState::Idle { waiting: true }) {
                 continue;
@@ -753,9 +900,10 @@ impl SchedSim {
             let mut candidates = std::mem::take(&mut self.prestage_scratch);
             candidates.clear();
             candidates.extend(
-                self.shard_cores(si)
-                    .filter(|&c| matches!(self.cores[c as usize], CoreState::Busy { .. }))
-                    .map(|c| self.local_slot(CpuId(c))),
+                owned
+                    .iter()
+                    .filter(|&&c| matches!(self.cores[c as usize], CoreState::Busy { .. }))
+                    .map(|&c| self.local_slot(CpuId(c))),
             );
             let stage_cost = self.stage_cost();
             let shard = &mut self.shards[si];
@@ -763,6 +911,7 @@ impl SchedSim {
                 policy: shard.policy.as_mut(),
                 gen: &self.gen,
                 next_txn: &mut self.next_txn,
+                class: None,
             };
             shard.rt.prestage_with(
                 now,
@@ -774,6 +923,7 @@ impl SchedSim {
             );
             self.prestage_scratch = candidates;
         }
+        self.owned_cores[si] = owned;
 
         self.shards[si].rt.run_raw(now, nic_cost);
         // If entries remain (a bigger batch, or pushed-but-not-yet-
@@ -809,6 +959,7 @@ impl SchedSim {
             policy: shard.policy.as_mut(),
             gen: &self.gen,
             next_txn: &mut self.next_txn,
+            class: None,
         };
         shard
             .rt
@@ -816,24 +967,19 @@ impl SchedSim {
     }
 
     /// Steal hook: shard `si` has an idle core and an empty run queue;
-    /// pull the next pick from the sibling with the deepest backlog and
-    /// stage it locally. The thief pays the pick cost (the victim's
-    /// run queue lives in shared SmartNIC memory).
+    /// pull a pick from a sibling and stage it locally. The victim is
+    /// chosen **per SLO class** ([`steal_victim`]): the tightest class
+    /// with backlog wins, and only within a class does depth pick the
+    /// shard — so a latency-class backlog is never starved by a deep
+    /// throughput-class flood (single-class policies degenerate to the
+    /// old deepest-sibling rule). The thief pays the pick cost (the
+    /// victim's run queue lives in shared SmartNIC memory).
     fn steal_pick(&mut self, now: SimTime, si: usize, cpu: CpuId, nic_cost: &mut SimTime) -> bool {
         if self.shards.len() < 2 {
             return false;
         }
-        let mut victim: Option<(usize, usize)> = None;
-        for (j, sh) in self.shards.iter().enumerate() {
-            let depth = sh.policy.queue_depth();
-            if j == si || depth == 0 {
-                continue;
-            }
-            if victim.is_none_or(|(_, d)| depth > d) {
-                victim = Some((j, depth));
-            }
-        }
-        let Some((vi, _)) = victim else {
+        let policies = self.shards.iter().map(|sh| sh.policy.as_ref());
+        let Some((vi, class)) = steal_victim(policies, si) else {
             return false;
         };
         let stage_cost = self.stage_cost();
@@ -849,6 +995,7 @@ impl SchedSim {
             policy: victim_policy.as_mut(),
             gen: &self.gen,
             next_txn: &mut self.next_txn,
+            class: Some(class),
         };
         let staged =
             thief
@@ -858,6 +1005,72 @@ impl SchedSim {
             self.diag.steals += 1;
         }
         staged
+    }
+
+    // --- Rebalancing -------------------------------------------------------
+
+    /// Host-side rebalance epoch: drain each shard's decision-rate
+    /// counter into the [`Rebalancer`], let it plan against the map,
+    /// and apply whatever core moves it committed. Reschedules itself
+    /// on the configured epoch.
+    fn rebalance_epoch(&mut self, sim: &mut S) {
+        let now = sim.now();
+        let (moves, epoch) = {
+            let Some(rb) = self.rebalancer.as_mut() else {
+                return;
+            };
+            for (i, sh) in self.shards.iter_mut().enumerate() {
+                rb.record(i as u32, sh.rt.take_load());
+            }
+            let moves = rb.run_epoch(now, &mut self.map).moves.clone();
+            (moves, rb.config().epoch)
+        };
+        if !moves.is_empty() {
+            self.rebuild_owned_cores();
+            for m in moves {
+                self.apply_core_move(sim, now, m);
+            }
+        }
+        sim.schedule(now + epoch, |m: &mut SchedSim, s| m.rebalance_epoch(s));
+    }
+
+    /// Applies one committed core move. Ownership has already flipped
+    /// in the map; what remains is the handoff: a staged-but-unconsumed
+    /// decision in the donor's slot is taken out (agent-side, one local
+    /// write — the host never saw it) and its thread re-enqueued with
+    /// the recipient's policy, so no pick is lost; a core parked
+    /// waiting for work is now the recipient's to serve, so its pump is
+    /// kicked. Host-side state (core idle/busy, thread tables,
+    /// generations) needs no migration — it was never per-shard.
+    fn apply_core_move(&mut self, sim: &mut S, now: SimTime, m: ResourceMove) {
+        self.diag.rebalance_moves += 1;
+        let cpu = CpuId(m.resource as u32);
+        let (from, to) = (m.from as usize, m.to as usize);
+        let slot = SlotId(cpu.0 - self.slot_base[from]);
+        let (cost, staged) = self.shards[from]
+            .rt
+            .slots()
+            .take_staged(now, &mut self.ic, slot);
+        self.shards[from].rt.run_raw(now, cost);
+        if let Some(d) = staged {
+            // The donor had picked a thread for this core. If it is
+            // still runnable it re-enters the recipient's run queue;
+            // the old txn snapshot is discarded (the recipient
+            // revalidates at its own stage time).
+            if let Some(t) = self.threads.get(&d.tid.0) {
+                if t.run == ThreadRun::Runnable {
+                    self.diag.rebalance_handoffs += 1;
+                    let meta = ThreadMeta {
+                        arrival: t.arrival,
+                        slo: t.slo,
+                    };
+                    self.shards[to].policy.on_runnable(now, d.tid, meta);
+                }
+            }
+        }
+        if matches!(self.cores[m.resource], CoreState::Idle { waiting: true }) {
+            self.schedule_agent_pump(sim, to, now);
+        }
     }
 
     // --- Host side ---------------------------------------------------------
@@ -1084,11 +1297,16 @@ impl SchedSim {
         };
         t.run = ThreadRun::Finished;
         let arrival = t.arrival;
+        let slo = t.slo;
         self.gen.remove(tid.0);
         self.threads.remove(&tid.0);
         self.outstanding -= 1;
         if arrival >= self.cfg.warmup && now <= self.cfg.duration {
             self.lat.record_time(now - arrival);
+            self.lat_by_class
+                .entry(slo.0)
+                .or_default()
+                .record_time(now - arrival);
             self.completed_measured += 1;
         }
     }
@@ -1352,6 +1570,100 @@ mod tests {
     fn new_rejects_multi_agent_config() {
         let cfg = sharded_cfg(8, 2, 10_000.0);
         let _ = SchedSim::new(cfg, Box::new(FifoPolicy::new()));
+    }
+
+    // --- Dynamic rebalancing -----------------------------------------------
+
+    use wave_core::shard_map::RebalanceConfig;
+
+    /// 4:1-skewed wakeup routing over 2 shards: shard 0 serves 4x the
+    /// offered load of shard 1.
+    fn skewed_cfg(rebalance: bool) -> SchedConfig {
+        let mut cfg = sharded_cfg(8, 2, 330_000.0);
+        cfg.wakeup_weights = Some(vec![4, 1]);
+        if rebalance {
+            cfg.rebalance = Some(RebalanceConfig::every(SimTime::from_ms(10)));
+        }
+        cfg
+    }
+
+    #[test]
+    fn weighted_routing_respects_weights() {
+        // All wakeups to shard 0: shard 1 makes no fresh picks beyond
+        // what it would via its own cores' events (none, since it never
+        // receives a thread).
+        let mut cfg = sharded_cfg(4, 2, 50_000.0);
+        cfg.wakeup_weights = Some(vec![1, 0]);
+        let r = SchedSim::with_policy_factory(cfg, |_| Box::new(FifoPolicy::new())).run();
+        assert!(r.per_agent_decisions[0] > 0);
+        assert_eq!(r.per_agent_decisions[1], 0, "starved shard decided");
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn rebalance_feeds_cores_to_the_loaded_shard() {
+        let skewed =
+            SchedSim::with_policy_factory(skewed_cfg(true), |_| Box::new(FifoPolicy::new())).run();
+        assert!(
+            skewed.diag.rebalance_moves > 0,
+            "sustained 4:1 skew must move cores: {:?}",
+            skewed.diag
+        );
+        // Every move feeds the busy shard (shard 0 gains, never loses).
+        for e in &skewed.rebalance {
+            for m in &e.moves {
+                assert_eq!(m.to, 0, "moves feed the loaded shard");
+            }
+        }
+        // The per-core decision-rate spread shrinks from the first
+        // sample to the last: the raw rates stay 4:1 by construction
+        // (that *is* the offered skew), but once cores follow the load
+        // every owned core carries a similar rate.
+        let first = skewed
+            .rebalance
+            .first()
+            .expect("epochs fired")
+            .per_resource_spread();
+        let last = skewed.rebalance.last().unwrap().per_resource_spread();
+        assert!(
+            last < first,
+            "per-core decision-rate spread must shrink: {first:.3} -> {last:.3}"
+        );
+        // And rebalancing must not cost throughput vs the static split.
+        let fixed =
+            SchedSim::with_policy_factory(skewed_cfg(false), |_| Box::new(FifoPolicy::new())).run();
+        assert!(fixed.rebalance.is_empty());
+        assert_eq!(fixed.diag.rebalance_moves, 0);
+        assert!(
+            skewed.completed >= fixed.completed,
+            "rebalance {} vs static {}",
+            skewed.completed,
+            fixed.completed
+        );
+    }
+
+    #[test]
+    fn rebalance_history_is_deterministic() {
+        let run = || {
+            SchedSim::with_policy_factory(skewed_cfg(true), |_| Box::new(FifoPolicy::new())).run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.rebalance, b.rebalance, "generation history drifted");
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.diag, b.diag);
+        assert_eq!(a.per_agent_decisions, b.per_agent_decisions);
+    }
+
+    #[test]
+    fn per_class_latency_is_reported() {
+        let mut cfg = quick_cfg(Placement::Offloaded, OptLevel::full(), 20_000.0);
+        cfg.mix = ServiceMix::paper_bimodal();
+        let r = SchedSim::new(cfg, Box::new(ShinjukuPolicy::paper_default())).run();
+        assert_eq!(r.latency_by_class.len(), 2, "both mix classes completed");
+        assert_eq!(r.latency_by_class[0].0, SloClass(0));
+        assert_eq!(r.latency_by_class[1].0, SloClass(1));
+        // The 10 ms RANGE class must dominate the GET class's median.
+        assert!(r.latency_by_class[1].1.p50 > r.latency_by_class[0].1.p50 * 10);
     }
 
     #[test]

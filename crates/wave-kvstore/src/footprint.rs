@@ -32,6 +32,15 @@ pub struct FootprintConfig {
     pub hot_touch_prob: f64,
     /// Probability a *cold* batch is touched within a window (noise).
     pub cold_touch_prob: f64,
+    /// Fraction of batches (the front of the address space) whose
+    /// access pattern is *ambivalent*: touched with near-coin-flip
+    /// probability each window, so SOL never gains confidence in them
+    /// and keeps them on the fastest scan rung. The knob that makes
+    /// scan *work* non-uniform across a partitioned batch space (0.0 in
+    /// the paper's workload).
+    pub flappy_fraction: f64,
+    /// Touch probability of the ambivalent batches.
+    pub flappy_touch_prob: f64,
 }
 
 impl FootprintConfig {
@@ -46,7 +55,25 @@ impl FootprintConfig {
             hot_fraction: 0.209, // converges to ~21.3/102
             hot_touch_prob: 0.85,
             cold_touch_prob: 0.02,
+            flappy_fraction: 0.0,
+            flappy_touch_prob: 0.5,
         }
+    }
+
+    /// The paper's configuration with the front `flappy` fraction of
+    /// the space made ambivalent — the skewed-scan-load workload the
+    /// rebalance experiments drive.
+    pub fn skewed(scale: f64, flappy: f64) -> Self {
+        assert!((0.0..=1.0).contains(&flappy), "flappy fraction in [0,1]");
+        FootprintConfig {
+            flappy_fraction: flappy,
+            ..Self::paper(scale)
+        }
+    }
+
+    /// Batches in the ambivalent front region.
+    pub fn flappy_batches(&self) -> usize {
+        (self.batches() as f64 * self.flappy_fraction).round() as usize
     }
 
     /// Number of batches in the address space.
@@ -76,6 +103,9 @@ pub struct DbFootprint {
     cfg: FootprintConfig,
     hot: Vec<bool>,
     resident: Vec<bool>,
+    /// Batches below this index are ambivalent (precomputed from
+    /// `cfg.flappy_batches()` — `sample_access` is the hot loop).
+    flappy_until: usize,
 }
 
 impl DbFootprint {
@@ -104,6 +134,7 @@ impl DbFootprint {
             }
         }
         DbFootprint {
+            flappy_until: cfg.flappy_batches(),
             cfg,
             hot,
             resident: vec![true; n],
@@ -129,7 +160,9 @@ impl DbFootprint {
     /// Simulates the workload touching memory during one scan window:
     /// returns whether batch `i`'s access bits would be found set.
     pub fn sample_access(&self, i: usize, rng: &mut SmallRng) -> bool {
-        let p = if self.hot[i] {
+        let p = if i < self.flappy_until {
+            self.cfg.flappy_touch_prob
+        } else if self.hot[i] {
             self.cfg.hot_touch_prob
         } else {
             self.cfg.cold_touch_prob
@@ -216,6 +249,27 @@ mod tests {
         );
         let frac = after as f64 / before as f64;
         assert!((frac - 0.209).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn flappy_front_is_ambivalent() {
+        let cfg = FootprintConfig::skewed(0.001, 0.5);
+        let f = DbFootprint::new(cfg, AccessPattern::Scattered, 2);
+        let split = cfg.flappy_batches();
+        assert!(split > 0 && split < f.batches());
+        let mut rng = wave_sim::rng(9);
+        let (mut front, mut n) = (0u64, 0u64);
+        for _ in 0..200 {
+            for i in 0..split {
+                n += 1;
+                front += f.sample_access(i, &mut rng) as u64;
+            }
+        }
+        let rate = front as f64 / n as f64;
+        // Near coin-flip: neither the hot (0.85) nor cold (0.02) rate.
+        assert!((rate - 0.5).abs() < 0.05, "front rate {rate}");
+        // Default workload has no flappy region at all.
+        assert_eq!(FootprintConfig::paper(0.001).flappy_batches(), 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release -p wave-lab --example report_all`
 
-use wave_lab::{fig4, fig5, fig6, mem, mem_scaling, scaling, table2, table3, upi};
+use wave_lab::{fig4, fig5, fig6, mem, mem_scaling, rebalance, scaling, table2, table3, upi};
 
 fn main() {
     let t0 = std::time::Instant::now();
@@ -22,5 +22,6 @@ fn main() {
     mem::footprint_report(&mem::FootprintExperiment::quick()).print();
     scaling::report(&scaling::ScalingConfig::quick()).print();
     mem_scaling::report(&mem_scaling::MemScalingConfig::quick()).print();
+    rebalance::report(&rebalance::RebalanceSweepConfig::quick()).print();
     println!("\nall experiments regenerated in {:.1?}", t0.elapsed());
 }

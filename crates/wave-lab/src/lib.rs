@@ -19,6 +19,7 @@
 //! | [`mem`] | §7.4 — SOL iteration durations & footprint reduction |
 //! | [`scaling`] | §6 scale-out — scheduler throughput vs agent count |
 //! | [`mem_scaling`] | §6 scale-out — SOL iteration duration vs shard count |
+//! | [`rebalance`] | dynamic shard rebalancing under skewed load, both agents |
 //!
 //! Independent load points run in parallel on `std::thread` workers
 //! ([`par::par_map`]); each point is its own deterministic simulation.
@@ -29,6 +30,7 @@ pub mod fig6;
 pub mod mem;
 pub mod mem_scaling;
 pub mod par;
+pub mod rebalance;
 pub mod report;
 pub mod scaling;
 pub mod table2;

@@ -175,6 +175,9 @@ pub struct FootprintResult {
 pub struct FootprintExperiment {
     /// Address-space scale relative to the paper's 102 GiB (1.0 = full).
     pub scale: f64,
+    /// Agent shards the batch space is partitioned across (§6): the
+    /// −79% result must hold under K-way partitioning, not just K=1.
+    pub shards: u32,
     /// Epochs to run (paper reports after 3).
     pub epochs: u32,
     /// GET requests sampled for the latency distribution.
@@ -184,20 +187,23 @@ pub struct FootprintExperiment {
 }
 
 impl FootprintExperiment {
-    /// CI-speed configuration (~0.2% of the paper's address space).
+    /// CI-speed configuration (~0.2% of the paper's address space,
+    /// 2-way partitioned).
     pub fn quick() -> Self {
         FootprintExperiment {
             scale: 0.002,
+            shards: 2,
             epochs: 3,
             get_samples: 200_000,
             seed: 42,
         }
     }
 
-    /// Full-scale batch count (slower; same statistics).
+    /// Full-scale batch count, 4 shards (slower; same statistics).
     pub fn paper() -> Self {
         FootprintExperiment {
             scale: 0.05,
+            shards: 4,
             epochs: 3,
             get_samples: 500_000,
             seed: 42,
@@ -205,30 +211,46 @@ impl FootprintExperiment {
     }
 }
 
-/// Runs the footprint experiment: real SOL against the synthetic page
-/// access pattern, then a GET latency distribution over the tiered
-/// memory.
+/// Runs the footprint experiment: real SOL under K-way partitioning
+/// ([`ShardedSolRunner`] — each shard scans and classifies only its
+/// batch slice, yet the merged epochs must still demote the same ~79%)
+/// against the synthetic page access pattern, then a GET latency
+/// distribution over the tiered memory.
 pub fn run_footprint(cfg: &FootprintExperiment) -> FootprintResult {
     let fp_cfg = FootprintConfig::paper(cfg.scale);
     let mut fp = DbFootprint::new(fp_cfg, AccessPattern::Scattered, cfg.seed);
-    let mut policy = SolPolicy::new(SolConfig::paper(), fp.batches());
-    let mut rng = wave_sim::rng(cfg.seed);
     let sol_cfg = SolConfig::paper();
+    let mut sharded = ShardedSolRunner::new(
+        RunnerConfig::paper(CoreClass::NicArm, 16),
+        CpuModel::mount_evans(),
+        cfg.shards,
+        sol_cfg,
+        fp.batches(),
+        cfg.seed,
+    );
 
     let start_fraction = fp.resident_fraction();
     let mut now = SimTime::ZERO;
     for _ in 0..cfg.epochs {
         let end = now + sol_cfg.epoch;
         while now < end {
-            policy.iterate(now, &fp, &mut rng);
+            sharded.run_iteration(&fp, now);
             now += sol_cfg.base_period;
         }
-        policy.epoch_migrate(now, &mut fp);
+        sharded.epoch_migrate(now, &mut fp);
     }
+    // Classification accuracy vs. the oracle, batch-weighted across
+    // the shards.
+    let accuracy = (0..cfg.shards)
+        .map(|i| sharded.shard_accuracy(i, &fp) * sharded.shard_batches(i).len() as f64)
+        .sum::<f64>()
+        / fp.batches() as f64;
 
     // GET latency with the converged tiering: hot-batch GETs hit DRAM
     // (10 µs + small jitter); GETs landing on a demoted hot batch fault
-    // (the misclassification cost).
+    // (the misclassification cost). Its own RNG stream — the policy
+    // streams live inside the shards.
+    let mut rng = wave_sim::rng(cfg.seed ^ 0x6e7);
     let mut hist = Histogram::new();
     let hot: Vec<usize> = (0..fp.batches()).filter(|&i| fp.is_hot(i)).collect();
     for _ in 0..cfg.get_samples {
@@ -249,7 +271,7 @@ pub fn run_footprint(cfg: &FootprintExperiment) -> FootprintResult {
     FootprintResult {
         start_fraction,
         end_fraction: fp.resident_fraction(),
-        accuracy: policy.accuracy(&fp),
+        accuracy,
         get_p50_us: s.p50.as_us_f64(),
         get_p99_us: s.p99.as_us_f64(),
     }

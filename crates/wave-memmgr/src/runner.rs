@@ -304,10 +304,14 @@ impl SolRunner {
     /// iterations and shards. The returned cost fields are durations
     /// relative to `now`.
     ///
-    /// When `policy` manages a base-offset slice of a sharded batch
-    /// space, decision slots are indexed shard-locally (global batch −
-    /// [`SolPolicy::base`]); the shipped [`MigrationDecision`]s keep
-    /// global batch ids, since those are what the host acts on.
+    /// When `policy` manages a slice of a sharded batch space —
+    /// contiguous or, after rebalancing, not — decision slots are
+    /// indexed shard-locally ([`SolPolicy::local_index`]); the shipped
+    /// [`MigrationDecision`]s keep global batch ids, since those are
+    /// what the host acts on. Each iteration also notes the due-batch
+    /// count on the runtime's load counter
+    /// ([`AgentRuntime::note_load`]), the scan-rate signal a
+    /// [`wave_core::shard_map::Rebalancer`] samples.
     pub fn run_iteration(
         &mut self,
         ic: &mut Interconnect,
@@ -361,20 +365,21 @@ impl SolRunner {
             .filter(|d| **d != PteDelta::HEARTBEAT)
             .map(|d| d.batch as usize)
             .collect();
+        rt.note_load(scanned.len() as u64);
         let stats = policy.iterate_batches(now, &scanned, workload, rng);
 
         // Stage the classification flips as migration decisions through
         // the generic slot table, each at its batch's slot (slot i ==
-        // global batch i − shard base), so the shipment's slot ids
-        // identify the migrating batch within this runtime's slice.
-        // Decision-forming compute is the classify phase above, so the
-        // stager charges zero compute here; only the slot writes
-        // accrue, onto the agent's serial clock.
-        let base = policy.base();
+        // the batch's local index in the policy's — possibly
+        // non-contiguous — slice), so the shipment's slot ids identify
+        // the migrating batch within this runtime's slice. Decision-
+        // forming compute is the classify phase above, so the stager
+        // charges zero compute here; only the slot writes accrue, onto
+        // the agent's serial clock.
         let targets: Vec<SlotId> = policy
             .flips()
             .iter()
-            .map(|&(b, _)| SlotId((b - base) as u32))
+            .map(|&(b, _)| SlotId(policy.local_index(b) as u32))
             .collect();
         let mut stager = MigrationStager::new(policy.flips().iter().copied(), SimTime::ZERO);
         let stage_at = arrive + scan;

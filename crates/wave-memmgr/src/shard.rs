@@ -42,10 +42,29 @@
 //! (pinned by `tests/integration_memmgr_runtime.rs`): shard 0 holds the
 //! whole batch space, the same RNG stream, and a fresh interconnect.
 //!
+//! # Dynamic rebalancing
+//!
+//! Scan *work* is not uniform across the batch space: confident batches
+//! climb the frequency ladder and go quiet while ambivalent ones rescan
+//! every period, so a static partition can leave one shard doing most
+//! of the scanning. [`ShardedSolRunner::with_rebalance`] turns on the
+//! shared [`wave_core::shard_map`] layer: batch ownership lives in a
+//! generation-stamped [`ShardMap`], per-shard due-batch scan rates
+//! accumulate on each runtime's load counter, and a host-side
+//! [`Rebalancer`] ([`ShedLoad`] direction — the busiest-scanning shard
+//! gives batches away) commits moves between iterations
+//! ([`ShardedSolRunner::maybe_rebalance`]). Handoff is **host replay**,
+//! reusing the fault-recovery recipe: the recipient adopts moved
+//! batches with a fresh prior and rescans them from the page tables;
+//! no posterior is ever shipped between agents. With rebalancing off
+//! (the default) the map never changes and every result is
+//! bit-identical to the static partition.
+//!
 //! [`AgentRuntime`]: wave_core::runtime::AgentRuntime
 
 use rand::rngs::SmallRng;
 use wave_core::runtime::shard_range;
+use wave_core::shard_map::{RebalanceConfig, RebalanceEvent, Rebalancer, ShardMap, ShedLoad};
 use wave_kvstore::DbFootprint;
 use wave_pcie::Interconnect;
 use wave_sim::cpu::CpuModel;
@@ -159,6 +178,12 @@ pub struct ShardedSolRunner {
     /// so it lives here and not in any shard's policy — a killed or
     /// restarted shard must not perturb the cadence for the others.
     last_epoch: SimTime,
+    /// Generation-stamped batch-ownership map (the static contiguous
+    /// partition until a rebalance commits).
+    map: ShardMap,
+    /// Dynamic batch rebalancing, when enabled
+    /// ([`ShardedSolRunner::with_rebalance`]).
+    rebalancer: Option<Rebalancer>,
 }
 
 impl ShardedSolRunner {
@@ -185,7 +210,7 @@ impl ShardedSolRunner {
             total_batches >= shards as usize,
             "need at least one batch per shard"
         );
-        let shards = (0..shards as usize)
+        let shards: Vec<MemShard> = (0..shards as usize)
             .map(|i| {
                 let slice = shard_range(total_batches, shards as usize, i);
                 MemShard {
@@ -197,6 +222,7 @@ impl ShardedSolRunner {
                 }
             })
             .collect();
+        let map = ShardMap::contiguous(total_batches, shards.len() as u32);
         ShardedSolRunner {
             shards,
             cfg,
@@ -204,12 +230,50 @@ impl ShardedSolRunner {
             total_batches,
             threaded: true,
             last_epoch: SimTime::ZERO,
+            map,
+            rebalancer: None,
         }
+    }
+
+    /// Enables dynamic batch rebalancing: a host-side [`Rebalancer`]
+    /// samples per-shard due-batch scan rates
+    /// ([`wave_core::runtime::AgentRuntime::take_load`]) on the given
+    /// epoch and — while the rates stay skewed — moves batches from the
+    /// busiest-scanning shard to the idlest ([`ShedLoad`]: scan work is
+    /// *generated by* the owned batches, so the overloaded shard gives
+    /// batches away). Moved batches are handed off by **host replay**:
+    /// the recipient adopts them with a fresh prior
+    /// ([`SolPolicy::adopt_batches`]) exactly as a restarted shard
+    /// re-pulls its slice, so the next scan re-derives their state from
+    /// the page tables. Call [`ShardedSolRunner::maybe_rebalance`] from
+    /// the host driver between iterations.
+    pub fn with_rebalance(mut self, rc: RebalanceConfig) -> Self {
+        let per_shard = self.total_batches / self.shards.len();
+        let policy = ShedLoad {
+            max_moves: (per_shard / 4).max(1),
+            min_resources: 1,
+        };
+        self.rebalancer = Some(Rebalancer::new(
+            rc,
+            Box::new(policy),
+            self.shards.len() as u32,
+        ));
+        self
     }
 
     /// The per-agent deployment configuration every shard runs.
     pub fn config(&self) -> RunnerConfig {
         self.cfg
+    }
+
+    /// The current batch-ownership map (tests/telemetry).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The rebalancer's epoch history (empty when rebalancing is off).
+    pub fn rebalance_history(&self) -> &[RebalanceEvent] {
+        self.rebalancer.as_ref().map_or(&[], |r| r.history())
     }
 
     /// Disables (or re-enables) the OS-thread fan-out; shards then run
@@ -231,9 +295,10 @@ impl ShardedSolRunner {
         self.total_batches
     }
 
-    /// The global batch slice shard `i` owns.
-    pub fn shard_slice(&self, i: u32) -> std::ops::Range<usize> {
-        shard_range(self.total_batches, self.shards.len(), i as usize)
+    /// The global batch ids shard `i` owns, ascending — a contiguous
+    /// run until rebalancing moves batches around.
+    pub fn shard_batches(&self, i: u32) -> Vec<usize> {
+        self.map.resources_of(i).collect()
     }
 
     /// Runs one sharded iteration at `now`: every live shard ships its
@@ -290,6 +355,52 @@ impl ShardedSolRunner {
         (demoted, promoted)
     }
 
+    /// Runs one rebalance epoch if one is due: drains each shard's
+    /// scan-rate counter, lets the [`ShedLoad`] planner decide, and
+    /// applies the batch moves by host-replayed handoff —
+    /// [`SolPolicy::release_batches`] on the donor,
+    /// [`SolPolicy::adopt_batches`] (fresh prior, due immediately) on
+    /// the recipient. Each shard's runner rebuilds its runtime and slot
+    /// slice to the new size on its next iteration. Returns the epoch's
+    /// event, or `None` when rebalancing is off, the epoch has not
+    /// elapsed, or any shard is dead (ownership never moves onto or off
+    /// a corpse — the watchdog/restart path owns that slice until it is
+    /// back).
+    pub fn maybe_rebalance(&mut self, now: SimTime) -> Option<RebalanceEvent> {
+        if self.shards.iter().any(|sh| !sh.alive) {
+            return None;
+        }
+        let rb = self.rebalancer.as_mut()?;
+        if !rb.epoch_due(now) {
+            return None;
+        }
+        for (i, sh) in self.shards.iter_mut().enumerate() {
+            let load = sh.runner.runtime_mut().map_or(0, |rt| rt.take_load());
+            rb.record(i as u32, load);
+        }
+        let event = rb.run_epoch(now, &mut self.map).clone();
+        // Group the epoch's moves per shard so the policy-side Vec
+        // surgery is one batched call per donor/recipient.
+        let n = self.shards.len();
+        let mut released: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut adopted: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for m in &event.moves {
+            released[m.from as usize].push(m.resource);
+            adopted[m.to as usize].push(m.resource);
+        }
+        for (i, r) in released.into_iter().enumerate() {
+            if !r.is_empty() {
+                self.shards[i].policy.release_batches(&r);
+            }
+        }
+        for (i, a) in adopted.into_iter().enumerate() {
+            if !a.is_empty() {
+                self.shards[i].policy.adopt_batches(&a);
+            }
+        }
+        Some(event)
+    }
+
     /// Migration decisions shipped to the host so far, all shards.
     pub fn shipped_decisions(&self) -> u64 {
         self.shards
@@ -315,6 +426,12 @@ impl ShardedSolRunner {
     /// Read-only access to shard `i`'s runner (telemetry/tests).
     pub fn shard_runner(&self, i: u32) -> &SolRunner {
         &self.shards[i as usize].runner
+    }
+
+    /// Shard `i`'s classification accuracy against the workload oracle
+    /// over its own batches (telemetry/tests).
+    pub fn shard_accuracy(&self, i: u32, workload: &DbFootprint) -> f64 {
+        self.shards[i as usize].policy.accuracy(workload)
     }
 
     /// Whether shard `i` is alive (not killed, or restarted since).
@@ -350,10 +467,10 @@ impl ShardedSolRunner {
     /// cost, from the page tables (the source of truth), not from any
     /// agent-side journal.
     pub fn restart_shard(&mut self, i: u32, now: SimTime) {
-        let slice = self.shard_slice(i);
+        let ids = self.shard_batches(i);
         let sh = &mut self.shards[i as usize];
         sh.alive = true;
-        sh.policy = SolPolicy::with_base(self.sol, slice.len(), slice.start);
+        sh.policy = SolPolicy::with_batches(self.sol, ids);
         if let Some(rt) = sh.runner.runtime_mut() {
             rt.agent_mut().restart(now);
         }
@@ -453,7 +570,7 @@ mod tests {
         assert_eq!(stats.scanned as usize, fp.batches());
         assert_eq!((stats.hot + stats.cold) as usize, fp.batches());
         for i in 0..4u32 {
-            let slice = k4.shard_slice(i);
+            let slice = k4.shard_batches(i);
             let shipped = k4.last_shipment(i);
             assert!(!shipped.is_empty(), "shard {i} shipped nothing");
             assert!(
@@ -515,6 +632,56 @@ mod tests {
     }
 
     #[test]
+    fn rebalance_off_keeps_the_static_partition() {
+        let fp = world(0.001);
+        let mut k4 = sharded(&fp, 4);
+        for it in 0..3u64 {
+            k4.run_iteration(&fp, SimTime::from_ms(600 * it));
+            assert!(k4.maybe_rebalance(SimTime::from_ms(600 * it)).is_none());
+        }
+        assert!(k4.rebalance_history().is_empty());
+        assert_eq!(k4.shard_map().generation(), 0);
+        for i in 0..4u32 {
+            assert_eq!(
+                k4.shard_batches(i),
+                shard_range(fp.batches(), 4, i as usize).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    use wave_kvstore::FootprintConfig as FpConfig;
+
+    /// Front half of the space ambivalent (rescans every period),
+    /// back half strongly hot/cold (goes quiet): shard 0 of 2 does
+    /// nearly all the scan work until batches move.
+    fn skewed_world() -> DbFootprint {
+        DbFootprint::new(FpConfig::skewed(0.001, 0.5), AccessPattern::Scattered, 3)
+    }
+
+    #[test]
+    fn rebalance_pauses_while_a_shard_is_dead() {
+        let fp = skewed_world();
+        let mut k2 = ShardedSolRunner::new(
+            RunnerConfig::paper(CoreClass::NicArm, 16),
+            CpuModel::mount_evans(),
+            2,
+            SolConfig::paper(),
+            fp.batches(),
+            4,
+        )
+        .with_rebalance(wave_core::shard_map::RebalanceConfig::every(
+            SimTime::from_ms(600),
+        ));
+        k2.run_iteration(&fp, SimTime::ZERO);
+        k2.kill_shard(1);
+        // Ownership must not move onto (or off) a corpse.
+        assert!(k2.maybe_rebalance(SimTime::from_ms(600)).is_none());
+        k2.restart_shard(1, SimTime::from_ms(1_200));
+        k2.run_iteration(&fp, SimTime::from_ms(1_200));
+        assert!(k2.maybe_rebalance(SimTime::from_ms(1_200)).is_some());
+    }
+
+    #[test]
     fn epoch_clock_survives_shard_kill_and_restart() {
         // The epoch cadence is host-side state: killing or restarting
         // shard 0 (whose policy once held the de-facto clock) must not
@@ -569,7 +736,7 @@ mod tests {
         // Restart: fresh prior over the slice, every batch due again.
         k2.restart_shard(1, SimTime::from_ms(1200));
         assert!(k2.is_shard_running(1));
-        let slice = k2.shard_slice(1);
+        let slice = k2.shard_batches(1);
         let (stats, _) = k2.run_iteration(&fp, SimTime::from_ms(1200));
         assert!(
             stats.scanned as usize >= slice.len(),

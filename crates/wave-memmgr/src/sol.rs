@@ -80,22 +80,37 @@ pub struct SolStats {
 
 /// The SOL agent policy state.
 ///
-/// A policy may manage the whole batch space (`base == 0`, the
-/// single-agent deployment) or a contiguous slice of it
-/// ([`SolPolicy::with_base`], one slice per shard of a sharded
-/// deployment). All batch indices crossing the API — due lists, scan
-/// lists, flips, migrations — are **global**; the base offset is an
-/// internal translation onto the local state vector.
+/// A policy may manage the whole batch space (the single-agent
+/// deployment), a contiguous slice of it ([`SolPolicy::with_base`]),
+/// or — once dynamic rebalancing has moved batches between shards — an
+/// arbitrary **non-contiguous set** of global batch ids
+/// ([`SolPolicy::with_batches`]). All batch indices crossing the API —
+/// due lists, scan lists, flips, migrations — are **global**; the
+/// sorted id list is an internal translation onto the local state
+/// vector ([`SolPolicy::local_index`]).
 #[derive(Debug)]
 pub struct SolPolicy {
     cfg: SolConfig,
     batches: Vec<BatchState>,
-    /// Global index of local batch 0 (the shard's slice start).
-    base: usize,
+    /// Global batch id of each local index, strictly ascending.
+    ids: Vec<usize>,
     last_epoch: SimTime,
     /// Classification flips observed by the most recent iteration —
     /// the migration decisions the agent stages back to the host.
     flips: Vec<(usize, bool)>,
+}
+
+/// The uninformative prior every batch starts from (and re-pulls after
+/// a restart or a rebalance handoff).
+fn fresh_batch() -> BatchState {
+    BatchState {
+        alpha: 1.0,
+        beta: 1.0,
+        rung: 0,
+        next_scan: SimTime::ZERO,
+        scans: 0,
+        classified_hot: true, // optimistic: everything starts resident
+    }
 }
 
 impl SolPolicy {
@@ -105,24 +120,29 @@ impl SolPolicy {
     }
 
     /// Creates the policy over the global batch slice
-    /// `[base, base + n)` — one shard's share of a partitioned address
-    /// space.
+    /// `[base, base + n)` — one shard's share of a statically
+    /// partitioned address space.
     pub fn with_base(cfg: SolConfig, n: usize, base: usize) -> Self {
-        assert!(n > 0, "need at least one batch");
+        Self::with_batches(cfg, (base..base + n).collect())
+    }
+
+    /// Creates the policy over an explicit set of global batch ids —
+    /// one shard's (possibly non-contiguous) share of a dynamically
+    /// rebalanced address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty or not strictly ascending.
+    pub fn with_batches(cfg: SolConfig, ids: Vec<usize>) -> Self {
+        assert!(!ids.is_empty(), "need at least one batch");
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "batch ids must be strictly ascending"
+        );
         SolPolicy {
             cfg,
-            batches: vec![
-                BatchState {
-                    alpha: 1.0,
-                    beta: 1.0,
-                    rung: 0,
-                    next_scan: SimTime::ZERO,
-                    scans: 0,
-                    classified_hot: true, // optimistic: everything starts resident
-                };
-                n
-            ],
-            base,
+            batches: vec![fresh_batch(); ids.len()],
+            ids,
             last_epoch: SimTime::ZERO,
             flips: Vec::new(),
         }
@@ -133,9 +153,9 @@ impl SolPolicy {
         self.batches.len()
     }
 
-    /// Global index of the first managed batch (0 unless sharded).
+    /// Global index of the first (lowest) managed batch.
     pub fn base(&self) -> usize {
-        self.base
+        self.ids[0]
     }
 
     /// Whether the policy manages no batches (never true).
@@ -143,9 +163,26 @@ impl SolPolicy {
         self.batches.is_empty()
     }
 
+    /// The managed global batch ids, ascending.
+    pub fn batch_ids(&self) -> &[usize] {
+        &self.ids
+    }
+
+    /// The local state index of a (global) batch id — also the batch's
+    /// decision-slot index within its shard's runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is not managed by this policy.
+    pub fn local_index(&self, global: usize) -> usize {
+        self.ids
+            .binary_search(&global)
+            .unwrap_or_else(|_| panic!("batch {global} is not managed by this policy"))
+    }
+
     /// Posterior mean for a (global) batch index (test/telemetry).
     pub fn posterior_mean(&self, i: usize) -> f64 {
-        let b = &self.batches[i - self.base];
+        let b = &self.batches[self.local_index(i)];
         b.alpha / (b.alpha + b.beta)
     }
 
@@ -153,10 +190,94 @@ impl SolPolicy {
     pub fn due_batches(&self, now: SimTime) -> Vec<usize> {
         self.batches
             .iter()
-            .enumerate()
-            .filter(|(_, b)| b.next_scan <= now)
-            .map(|(i, _)| self.base + i)
+            .zip(&self.ids)
+            .filter(|(b, _)| b.next_scan <= now)
+            .map(|(_, &id)| id)
             .collect()
+    }
+
+    /// Host-replayed handoff, recipient side: adopts the given global
+    /// batches with a fresh uninformative prior — the same "re-pull
+    /// from host truth" recipe as a post-crash restart. Every adopted
+    /// batch is due at the next scan, and its first scan re-derives its
+    /// classification from the page tables rather than from any
+    /// shipped donor state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already managed here or appears twice in
+    /// `adopted`.
+    pub fn adopt_batches(&mut self, adopted: &[usize]) {
+        if adopted.is_empty() {
+            return;
+        }
+        let mut add = adopted.to_vec();
+        add.sort_unstable();
+        assert!(
+            add.windows(2).all(|w| w[0] < w[1]),
+            "duplicate batch in adoption"
+        );
+        // One sorted-merge pass (O(n + k), not k O(n) inserts).
+        let old_ids = std::mem::take(&mut self.ids);
+        let old_batches = std::mem::take(&mut self.batches);
+        self.ids = Vec::with_capacity(old_ids.len() + add.len());
+        self.batches = Vec::with_capacity(old_ids.len() + add.len());
+        let mut old = old_ids.into_iter().zip(old_batches).peekable();
+        let mut new = add.into_iter().peekable();
+        loop {
+            match (old.peek(), new.peek()) {
+                (Some(&(o, _)), Some(&n)) if o == n => {
+                    panic!("adopting batch {n} this policy already manages")
+                }
+                (Some(&(o, _)), Some(&n)) if o < n => {
+                    let (id, b) = old.next().expect("peeked");
+                    self.ids.push(id);
+                    self.batches.push(b);
+                }
+                (_, Some(_)) => {
+                    self.ids.push(new.next().expect("peeked"));
+                    self.batches.push(fresh_batch());
+                }
+                (Some(_), None) => {
+                    let (id, b) = old.next().expect("peeked");
+                    self.ids.push(id);
+                    self.batches.push(b);
+                }
+                (None, None) => break,
+            }
+        }
+    }
+
+    /// Host-replayed handoff, donor side: forgets the given global
+    /// batches. Their posteriors are deliberately dropped, not shipped —
+    /// policy state is never checkpointed across owners (§6 "keep
+    /// fault recovery simple").
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is not managed here, or if the release would
+    /// leave the policy empty.
+    pub fn release_batches(&mut self, released: &[usize]) {
+        if released.is_empty() {
+            return;
+        }
+        let mut drop = released.to_vec();
+        drop.sort_unstable();
+        for &g in &drop {
+            let _ = self.local_index(g); // membership check (panics if absent)
+        }
+        // One stable compaction pass (O(n log k), not k O(n) removes).
+        let mut w = 0;
+        for r in 0..self.ids.len() {
+            if drop.binary_search(&self.ids[r]).is_err() {
+                self.ids.swap(w, r);
+                self.batches.swap(w, r);
+                w += 1;
+            }
+        }
+        self.ids.truncate(w);
+        self.batches.truncate(w);
+        assert!(!self.batches.is_empty(), "released the whole slice");
     }
 
     /// Runs one policy iteration at `now` against the workload's access
@@ -189,7 +310,8 @@ impl SolPolicy {
         };
         for &i in due {
             let touched = workload.sample_access(i, rng);
-            let b = &mut self.batches[i - self.base];
+            let local = self.local_index(i);
+            let b = &mut self.batches[local];
             if touched {
                 b.alpha += 1.0;
             } else {
@@ -243,8 +365,7 @@ impl SolPolicy {
         self.last_epoch = now;
         let mut demoted = 0;
         let mut promoted = 0;
-        for (i, b) in self.batches.iter().enumerate() {
-            let g = self.base + i;
+        for (b, &g) in self.batches.iter().zip(&self.ids) {
             if b.classified_hot && !footprint.is_resident(g) {
                 footprint.promote(g);
                 promoted += 1;
@@ -266,8 +387,8 @@ impl SolPolicy {
         let correct = self
             .batches
             .iter()
-            .enumerate()
-            .filter(|(i, b)| b.classified_hot == workload.is_hot(self.base + *i))
+            .zip(&self.ids)
+            .filter(|(b, &g)| b.classified_hot == workload.is_hot(g))
             .count();
         correct as f64 / self.batches.len() as f64
     }
@@ -404,6 +525,60 @@ mod tests {
         for i in 0..base {
             assert!(fp.is_resident(i), "batch {i} outside the slice moved");
         }
+    }
+
+    #[test]
+    fn non_contiguous_slice_speaks_global_indices() {
+        let cfg = FootprintConfig::paper(0.002);
+        let fp = DbFootprint::new(cfg, AccessPattern::Scattered, 7);
+        // Every third batch, starting at 1: non-contiguous by design.
+        let ids: Vec<usize> = (0..fp.batches()).filter(|i| i % 3 == 1).collect();
+        let mut shard = SolPolicy::with_batches(SolConfig::paper(), ids.clone());
+        assert_eq!(shard.len(), ids.len());
+        assert_eq!(shard.base(), 1);
+        assert_eq!(shard.local_index(ids[5]), 5);
+
+        let due = shard.due_batches(SimTime::ZERO);
+        assert_eq!(due, ids, "everything due at t=0, global ids");
+        let mut rng = wave_sim::rng(11);
+        let stats = shard.iterate_batches(SimTime::ZERO, &due, &fp, &mut rng);
+        assert_eq!(stats.scanned as usize, ids.len());
+        assert!(shard.flips().iter().all(|&(b, _)| b % 3 == 1));
+    }
+
+    #[test]
+    fn adopt_and_release_are_the_replay_handoff() {
+        let cfg = FootprintConfig::paper(0.002);
+        let fp = DbFootprint::new(cfg, AccessPattern::Scattered, 7);
+        let n = fp.batches();
+        let mut donor = SolPolicy::with_base(SolConfig::paper(), n / 2, 0);
+        let mut recipient = SolPolicy::with_base(SolConfig::paper(), n - n / 2, n / 2);
+        // Converge the donor a bit so its batches sit on slow rungs.
+        let mut rng = wave_sim::rng(3);
+        let mut now = SimTime::ZERO;
+        for _ in 0..6 {
+            donor.iterate(now, &fp, &mut rng);
+            now += SimTime::from_ms(600);
+        }
+        assert!(donor.mean_rung() > 0.5, "donor converged");
+
+        // Hand the donor's last 10 batches to the recipient.
+        let moved: Vec<usize> = (n / 2 - 10..n / 2).collect();
+        donor.release_batches(&moved);
+        recipient.adopt_batches(&moved);
+        assert_eq!(donor.len(), n / 2 - 10);
+        assert_eq!(recipient.len(), n - n / 2 + 10);
+        assert_eq!(recipient.base(), n / 2 - 10);
+
+        // Host-replay semantics: every adopted batch re-pulled a fresh
+        // prior, so it is due immediately and its posterior is flat.
+        let due = recipient.due_batches(now);
+        for &g in &moved {
+            assert!(due.contains(&g), "adopted batch {g} not due");
+            assert!((recipient.posterior_mean(g) - 0.5).abs() < 1e-12);
+        }
+        // Donor no longer reports them due (or at all).
+        assert!(donor.due_batches(now).iter().all(|&g| g < n / 2 - 10));
     }
 
     #[test]

@@ -93,7 +93,7 @@ fn watchdog_kills_one_memory_shard_and_host_replays_unshipped_flips() {
     let (stats, _) = sharded.run_iteration(&fp, t0);
     assert_eq!(stats.scanned as usize, fp.batches());
     wd.heartbeat(t0);
-    let slice1 = sharded.shard_slice(1);
+    let slice1 = sharded.shard_batches(1);
     let lost_flips: BTreeSet<u32> = sharded
         .last_shipment(1)
         .iter()

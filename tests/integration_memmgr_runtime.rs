@@ -128,6 +128,53 @@ fn three_sharded_iterations() -> (Vec<SolStats>, Vec<IterationCost>, u64) {
 }
 
 #[test]
+fn k2_sharded_rebalance_off_matches_pre_shardmap_goldens() {
+    // Captured from the pre-ShardMap `ShardedSolRunner` (static
+    // contiguous `shard_range` slices) immediately before the dynamic-
+    // rebalancing refactor: per-shard cost legs (ns), merged stats, and
+    // shipment counts of three paper-default iterations. Without
+    // `with_rebalance` the map never changes and the run must be
+    // bit-identical.
+    let fp = DbFootprint::new(FootprintConfig::paper(0.001), AccessPattern::Scattered, 3);
+    let mut sharded = ShardedSolRunner::new(
+        RunnerConfig::paper(CoreClass::NicArm, 16),
+        CpuModel::mount_evans(),
+        2,
+        SolConfig::paper(),
+        fp.batches(),
+        4,
+    );
+    let golden_hot = [127u64, 121, 98];
+    let mut now = SimTime::ZERO;
+    for (it, &hot) in golden_hot.iter().enumerate() {
+        let (s, c) = sharded.run_iteration(&fp, now);
+        assert_eq!(s.scanned, 417, "iter {it} scanned");
+        assert_eq!(s.hot, hot, "iter {it} hot");
+        let legs: Vec<[u64; 4]> = c
+            .per_shard
+            .iter()
+            .map(|l| {
+                [
+                    l.dma_in.as_ns(),
+                    l.scan.as_ns(),
+                    l.classify.as_ns(),
+                    l.dma_out.as_ns(),
+                ]
+            })
+            .collect();
+        assert_eq!(
+            legs,
+            vec![[1_280, 159_076, 21_686, 765], [1_282, 159_841, 21_790, 766]],
+            "iter {it} per-shard legs"
+        );
+        now += SimTime::from_ms(600);
+    }
+    assert_eq!(sharded.per_shard_shipped(), vec![254, 245]);
+    assert!(sharded.rebalance_history().is_empty());
+    assert_eq!(sharded.shard_map().generation(), 0);
+}
+
+#[test]
 fn k1_sharded_runner_is_bit_identical_to_unsharded_goldens() {
     // The tentpole invariant: partitioning the batch space across K
     // runtimes with K=1 changes nothing — same stats, same

@@ -132,6 +132,72 @@ fn explicit_single_shard_factory_matches_new() {
 }
 
 #[test]
+fn four_agents_rebalance_off_matches_pre_shardmap_goldens() {
+    // Captured from the pre-ShardMap `SchedSim` (static contiguous
+    // `shard_range` slices, `core_shard`/`shard_start` vectors)
+    // immediately before the dynamic-rebalancing refactor. With
+    // `rebalance: None` (the default) the map-backed simulation must
+    // reproduce them bit-for-bit.
+    let mut c = cfg(8, Placement::Offloaded, OptLevel::full(), 300_000.0);
+    c.agents = 4;
+    let report = SchedSim::with_policy_factory(c, |_| Box::new(FifoPolicy::new())).run();
+    assert_golden(
+        &report,
+        &Golden {
+            completed: 54_002,
+            p99_ns: 36_863,
+            msix_sent: 43_112,
+            decisions: 61_766,
+        },
+        "fifo/offloaded/4-agents",
+    );
+    assert_eq!(
+        report.per_agent_decisions,
+        vec![15_431, 15_435, 15_443, 15_457]
+    );
+    assert!(report.rebalance.is_empty(), "no rebalancer, no history");
+    assert_eq!(report.diag.rebalance_moves, 0);
+}
+
+#[test]
+fn four_agents_steal_rebalance_off_matches_pre_shardmap_goldens() {
+    // The steal path crossed the class-aware refactor
+    // (`steal_victim` + `pick_class`): for single-class FIFO policies
+    // the victim choice must degenerate to the old deepest-sibling
+    // rule, pinned here bit-for-bit against the pre-refactor capture.
+    let mut c = cfg(8, Placement::Offloaded, OptLevel::full(), 100_000.0);
+    c.agents = 4;
+    c.steal = true;
+    c.mix = ServiceMix::paper_bimodal();
+    let report = SchedSim::with_policy_factory(c, |_| Box::new(FifoPolicy::new())).run();
+    assert_eq!(report.completed, 17_285, "completed drifted");
+    assert_eq!(report.latency.p99.as_ns(), 14_680_063, "p99 drifted");
+    assert_eq!(report.diag.steals, 3_713, "steal count drifted");
+}
+
+#[test]
+fn rebalance_generation_history_is_identical_across_runs() {
+    // Same seed + same 4:1 skew ⇒ identical `ShardMap` generation
+    // history (loads, counts, and moves of every epoch), and identical
+    // end-to-end results.
+    let run = || {
+        let mut c = cfg(8, Placement::Offloaded, OptLevel::full(), 330_000.0);
+        c.agents = 2;
+        c.wakeup_weights = Some(vec![4, 1]);
+        c.rebalance = Some(wave::core::RebalanceConfig::every(SimTime::from_ms(10)));
+        SchedSim::with_policy_factory(c, |_| Box::new(FifoPolicy::new())).run()
+    };
+    let (a, b) = (run(), run());
+    assert!(!a.rebalance.is_empty(), "epochs fired");
+    assert!(a.diag.rebalance_moves > 0, "skew moved cores");
+    assert_eq!(a.rebalance, b.rebalance, "generation history drifted");
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.latency.p99, b.latency.p99);
+    assert_eq!(a.per_agent_decisions, b.per_agent_decisions);
+    assert_eq!(a.diag, b.diag);
+}
+
+#[test]
 fn four_agents_are_deterministic() {
     let run = || {
         let mut c = cfg(8, Placement::Offloaded, OptLevel::full(), 300_000.0);
