@@ -1,0 +1,39 @@
+//! Engine-throughput microbenchmarks: sim-events/sec for the pure DES
+//! engine (rearm-and-fire timer churn), the cancel-heavy variant, the
+//! full scheduler model, and the sharded memory agent.
+//!
+//! The bench first prints the engine-throughput report (measured vs. the
+//! recorded pre-refactor baseline from `wave_lab::engine`), then hands
+//! each workload to Criterion in quick mode for a stable ns/iter
+//! measurement. The JSON artifact (`BENCH_engine.json`) is produced by
+//! `cargo run --release -p wave-lab --example engine_bench`; this bench
+//! is the interactive/CI-smoke view of the same workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_lab::engine::{self, EngineBenchConfig};
+
+fn engine_throughput(c: &mut Criterion) {
+    bench::banner("engine throughput (sim-events/sec)");
+    let quick = EngineBenchConfig::quick();
+    engine::report_from(&engine::run(&quick)).print();
+
+    for workload in engine::WORKLOADS {
+        c.bench_function(&format!("engine_{workload}"), |b| {
+            b.iter(|| {
+                let row = engine::run_one(&quick, workload).expect("known workload");
+                black_box((row.events, row.wall_ns))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = engine_throughput
+}
+criterion_main!(benches);

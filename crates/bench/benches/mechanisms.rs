@@ -1,15 +1,117 @@
 //! Cross-cutting mechanism microbenchmarks: queue push/poll, transaction
 //! round trips, and the DES engine itself. These are the library's own
 //! performance counters rather than paper artifacts.
+//!
+//! This bench also runs an **allocation audit** under a counting global
+//! allocator: steady-state event scheduling must not hit the global
+//! allocator (the engine's closure pool and recycled wheel buckets), and
+//! the scheduler model's agent pump must stay allocation-lean (reused
+//! `kicked`/prestage scratch buffers). Both properties are asserted, not
+//! just printed — a regression fails `cargo bench mechanisms`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use wave_core::{ChannelConfig, MsixMode, OptLevel, WaveChannel};
+use wave_ghost::policies::FifoPolicy;
+use wave_ghost::sim::{Placement, SchedConfig, SchedSim};
 use wave_pcie::Interconnect;
 use wave_sim::{Sim, SimTime};
 
+/// Counts every global-allocator hit (alloc + realloc; frees are not
+/// interesting for the steady-state property).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Steady-state engine scheduling allocates (nearly) nothing: after a
+/// warm-up rotation fills the closure pool and sizes the wheel buckets,
+/// a sustained rearm-and-fire load must run from recycled memory.
+fn audit_engine_steady_state() {
+    fn tick(m: &mut u64, s: &mut Sim<u64>) {
+        *m += 1;
+        // Mixed horizons: most rearms land in wheel buckets, every 16th
+        // in the overflow heap.
+        let delta = if m.is_multiple_of(16) { 400_000 } else { 640 };
+        s.schedule_in(SimTime::from_ns(delta), tick);
+    }
+    let mut sim: Sim<u64> = Sim::new();
+    for i in 0..1024u64 {
+        sim.schedule(SimTime::from_ns(i * 10), tick);
+    }
+    let mut m = 0u64;
+    sim.set_horizon(SimTime::from_ms(4));
+    sim.run(&mut m); // Warm-up: pool fills, buckets size themselves.
+    let before = allocs();
+    sim.set_horizon(SimTime::from_ms(10));
+    let executed = sim.run(&mut m);
+    let during = allocs() - before;
+    assert!(executed > 100_000, "audit underpowered: {executed} events");
+    // Residual allocations come from wheel buckets re-sizing as vec
+    // capacities shuffle between buckets and the drain heap; the old
+    // engine boxed every closure (≥ 1 allocation *per event*), so a
+    // 1-per-20 budget pins the pool with a wide margin.
+    assert!(
+        during * 20 <= executed,
+        "engine steady state hit the allocator: {during} allocations \
+         over {executed} events (budget: 1 per 20 events)"
+    );
+    println!("alloc-audit des_engine_steady_state: {during} allocs / {executed} events");
+}
+
+/// The scheduler model's hot loop (arrivals, agent pumps, IRQ kicks)
+/// stays allocation-lean per simulated event: the per-pump `kicked` and
+/// prestage buffers are reused scratch, not fresh `Vec`s. The bound is
+/// deliberately loose (histograms and queues still grow occasionally)
+/// but a per-pump allocation would blow well past it.
+fn audit_sched_sim_pump() {
+    let mut sc = SchedConfig::new(16, Placement::Offloaded, OptLevel::full());
+    sc.duration = SimTime::from_ms(40);
+    sc.warmup = SimTime::from_ms(5);
+    sc.offered = 16.0 * 100_000.0 * 1.2;
+    let sim = SchedSim::new(sc, Box::new(FifoPolicy::new()));
+    let before = allocs();
+    let report = sim.run();
+    let during = allocs() - before;
+    let events = report.events_executed;
+    assert!(events > 50_000, "audit underpowered: {events} events");
+    assert!(
+        during * 2 <= events,
+        "agent pump allocating per event: {during} allocations over \
+         {events} events (budget: 1 per 2 events)"
+    );
+    println!("alloc-audit sched_sim_pump: {during} allocs / {events} events");
+}
+
 fn mechanisms(c: &mut Criterion) {
     bench::banner("mechanism microbenchmarks");
+
+    audit_engine_steady_state();
+    audit_sched_sim_pump();
 
     c.bench_function("des_engine_1k_events", |b| {
         b.iter(|| {

@@ -19,7 +19,8 @@
 //! | `upi_interconnect` | §7.3.3 — UPI emulation |
 //! | `sol_iteration` | §7.4.2 — SOL iteration durations |
 //! | `sol_footprint` | §7.4.2 — RocksDB footprint reduction |
-//! | `mechanisms` | cross-cutting mechanism microbenchmarks |
+//! | `mechanisms` | cross-cutting mechanism microbenchmarks + allocation audit |
+//! | `engine` | engine throughput — sim-events/sec vs. recorded baseline |
 //! | `agent_scaling` | §6 scale-out — throughput vs SmartNIC agent count |
 
 /// Prints a banner so reports stand out in `cargo bench` output.

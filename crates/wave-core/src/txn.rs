@@ -9,7 +9,7 @@
 //! time-of-check-to-time-of-use corruption across the high-latency PCIe
 //! path.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Identifier of a transaction, unique per channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -91,7 +91,9 @@ pub struct TxnOutcomeRecord {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct GenerationTable {
-    generations: HashMap<u64, u64>,
+    // Fx-hashed: tids/batch indices are trusted small integers and this
+    // table sits on the commit path of every transaction.
+    generations: FxHashMap<u64, u64>,
 }
 
 impl GenerationTable {

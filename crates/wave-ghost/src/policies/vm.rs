@@ -25,8 +25,11 @@ use crate::policy::{SchedPolicy, ThreadMeta};
 pub struct VmPolicy {
     /// Runnable vCPUs ordered by accumulated runtime (smallest first).
     queue: VecDeque<(Tid, SimTime)>,
-    /// Accumulated runtime of every known vCPU.
-    runtime: std::collections::HashMap<u64, SimTime>,
+    /// Accumulated runtime of every known vCPU, indexed by vCPU id.
+    /// Dense: vCPU ids are small sequential integers (tens per host),
+    /// so a direct-indexed `Vec` beats any hash map on the account/
+    /// on_runnable path.
+    runtime: Vec<SimTime>,
     quantum: SimTime,
 }
 
@@ -40,9 +43,19 @@ impl VmPolicy {
         assert!(quantum > SimTime::ZERO, "quantum must be positive");
         VmPolicy {
             queue: VecDeque::new(),
-            runtime: std::collections::HashMap::new(),
+            runtime: Vec::new(),
             quantum,
         }
+    }
+
+    /// Accumulated-runtime cell for a vCPU, growing the table on first
+    /// sight of a new id.
+    fn runtime_cell(&mut self, tid: Tid) -> &mut SimTime {
+        let idx = tid.0 as usize;
+        if idx >= self.runtime.len() {
+            self.runtime.resize(idx + 1, SimTime::ZERO);
+        }
+        &mut self.runtime[idx]
     }
 
     /// The paper's configuration: quanta in the 5–10 ms range; we use the
@@ -60,7 +73,7 @@ impl VmPolicy {
     /// Records `ran` of CPU time for a vCPU (called by the enforcement
     /// layer after a quantum ends).
     pub fn account(&mut self, tid: Tid, ran: SimTime) {
-        *self.runtime.entry(tid.0).or_insert(SimTime::ZERO) += ran;
+        *self.runtime_cell(tid) += ran;
     }
 }
 
@@ -70,7 +83,7 @@ impl SchedPolicy for VmPolicy {
     }
 
     fn on_runnable(&mut self, _now: SimTime, tid: Tid, _meta: ThreadMeta) {
-        let rt = *self.runtime.entry(tid.0).or_insert(SimTime::ZERO);
+        let rt = *self.runtime_cell(tid);
         // Insert ordered by accumulated runtime: least-run first.
         let pos = self
             .queue

@@ -39,7 +39,9 @@
 //! tables) already lives host-side. Rebalancing off (the default) is
 //! pinned bit-identical to the static partition.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use rustc_hash::FxHashMap;
 
 use rand::rngs::SmallRng;
 use wave_core::runtime::{
@@ -300,6 +302,9 @@ pub struct SchedReport {
     pub msix_sent: u64,
     /// Decisions the agents produced (all shards).
     pub agent_decisions: u64,
+    /// Simulation events the DES engine executed for this run (engine
+    /// throughput accounting; see `wave-lab`'s `engine` module).
+    pub events_executed: u64,
     /// Decisions per agent shard (length = `agents`).
     pub per_agent_decisions: Vec<u64>,
     /// Request latency per SLO class, ascending class id (only classes
@@ -449,7 +454,9 @@ pub struct SchedSim {
     /// a bucket probe instead of re-summing the weights.
     wakeup_route: Option<(Vec<u64>, u64)>,
     gen: GenerationTable,
-    threads: HashMap<u64, ThreadState>,
+    /// Fx-hashed: tids are trusted simulation-minted integers and this
+    /// map is probed on every message the agent pumps.
+    threads: FxHashMap<u64, ThreadState>,
     cores: Vec<CoreState>,
     rng: SmallRng,
     inter_arrival: Exp,
@@ -469,6 +476,9 @@ pub struct SchedSim {
     /// Reused candidate buffer for the prestage walk (keeps the pump
     /// hot path allocation-free).
     prestage_scratch: Vec<SlotId>,
+    /// Reused wakeup buffer for the per-pump IRQ kicks — same
+    /// rationale as `prestage_scratch`.
+    kicked_scratch: Vec<(CpuId, SimTime)>,
 }
 
 type S = Sim<SchedSim>;
@@ -591,7 +601,7 @@ impl SchedSim {
             rebalancer,
             wakeup_route,
             gen: GenerationTable::new(),
-            threads: HashMap::new(),
+            threads: FxHashMap::default(),
             rng,
             inter_arrival,
             next_tid: 0,
@@ -607,6 +617,7 @@ impl SchedSim {
             diag: Diag::default(),
             stack_busy: vec![SimTime::ZERO; cfg.ingress.map_or(0, |i| i.stack_cores as usize)],
             prestage_scratch: Vec::with_capacity(cfg.workers as usize),
+            kicked_scratch: Vec::with_capacity(cfg.workers as usize),
             cfg,
         }
     }
@@ -647,6 +658,7 @@ impl SchedSim {
             });
         }
         sim.run(&mut self);
+        let events_executed = sim.executed();
         let window = self.cfg.duration - self.cfg.warmup;
         let achieved = self.completed_measured as f64 / window.as_secs_f64();
         let (mut hits, mut misses, mut decisions) = (0u64, 0u64, 0u64);
@@ -669,6 +681,7 @@ impl SchedSim {
             prestage_misses: misses,
             msix_sent: self.ic.msix.sent(),
             agent_decisions: decisions,
+            events_executed,
             per_agent_decisions,
             latency_by_class: self
                 .lat_by_class
@@ -850,7 +863,8 @@ impl SchedSim {
         // cache is taken out for the duration of the pump (nothing below
         // touches it; rebalance commits happen in their own event).
         let owned = std::mem::take(&mut self.owned_cores[si]);
-        let mut kicked = Vec::new();
+        let mut kicked = std::mem::take(&mut self.kicked_scratch);
+        kicked.clear();
         for &c in &owned {
             let cpu = CpuId(c);
             if !matches!(self.cores[c as usize], CoreState::Idle { waiting: true }) {
@@ -885,9 +899,10 @@ impl SchedSim {
                 self.cores[c as usize] = CoreState::Idle { waiting: false };
             }
         }
-        for (cpu, at) in kicked {
+        for (cpu, at) in kicked.drain(..) {
             sim.schedule(at, move |m: &mut SchedSim, s| m.wakeup_irq(s, cpu));
         }
+        self.kicked_scratch = kicked;
 
         // Prestage one decision per busy core whose slot is empty (§5.4).
         // The runtime consults the policy's wants_prestaging/backlog and

@@ -1,0 +1,19 @@
+//! Measures the engine-throughput workloads and writes BENCH_engine.json.
+//!
+//! Run with: `cargo run --release -p wave-lab --example engine_bench [--quick]`
+
+use wave_lab::engine;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        engine::EngineBenchConfig::quick()
+    } else {
+        engine::EngineBenchConfig::paper()
+    };
+    let result = engine::run(&cfg);
+    engine::report_from(&result).print();
+    let path = std::path::Path::new("BENCH_engine.json");
+    engine::write_bench_json(path, &result).expect("write BENCH_engine.json");
+    println!("wrote {}", path.display());
+}

@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release -p wave-lab --example report_all`
 
-use wave_lab::{fig4, fig5, fig6, mem, mem_scaling, rebalance, scaling, table2, table3, upi};
+use wave_lab::{
+    engine, fig4, fig5, fig6, mem, mem_scaling, rebalance, scaling, table2, table3, upi,
+};
 
 fn main() {
     let t0 = std::time::Instant::now();
@@ -23,5 +25,10 @@ fn main() {
     scaling::report(&scaling::ScalingConfig::quick()).print();
     mem_scaling::report(&mem_scaling::MemScalingConfig::quick()).print();
     rebalance::report(&rebalance::RebalanceSweepConfig::quick()).print();
+    let bench = engine::run(&engine::EngineBenchConfig::quick());
+    engine::report_from(&bench).print();
+    let path = std::path::Path::new("BENCH_engine.json");
+    engine::write_bench_json(path, &bench).expect("write BENCH_engine.json");
+    println!("wrote {}", path.display());
     println!("\nall experiments regenerated in {:.1?}", t0.elapsed());
 }

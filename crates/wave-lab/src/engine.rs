@@ -1,0 +1,458 @@
+//! Engine-throughput microbenches: sim-events/sec as a tracked artifact.
+//!
+//! The ROADMAP's fleet-scale and trace-driven directions both bottleneck
+//! on the simulator's own hot path, so raw engine speed is a first-class
+//! deliverable: this module measures **sim-events per wall-clock second**
+//! for three workload shapes and [`write_bench_json`] persists them to
+//! `BENCH_engine.json` so speedups (or regressions) are visible
+//! PR-over-PR.
+//!
+//! * **`pure_engine`** — the DES engine alone: a fixed population of
+//!   self-rearming timers with a deterministic mixed-horizon delay table
+//!   (mostly short-horizon, the timer wheel's home turf, plus a far tail
+//!   that exercises the overflow path). No model work, so events/sec is
+//!   the engine's schedule+dispatch ceiling.
+//! * **`pure_engine_cancel`** — the same population where most timers
+//!   are cancelled and re-armed before firing (the network-timeout shape
+//!   that motivates timer wheels); measures the cancellation path.
+//! * **`sched_sim`** — a full Fig.4a-shaped [`SchedSim`] run (FIFO,
+//!   offloaded, saturating load): events/sec with real model work per
+//!   event, i.e. what a `wave-lab` sweep actually feels.
+//! * **`sharded_sol`** — [`ShardedSolRunner`] iterations (K=2): the
+//!   memory agent's hot loop. This path is not event-driven, so its
+//!   "event" is one *due-batch scan*; it tracks the dense-indexing /
+//!   hashing work in the layers above the engine.
+//!
+//! The recorded [`PRE_REFACTOR_BASELINE`] is the measurement taken at
+//! the commit before the timer-wheel/memory-layout overhaul (PR 6), on
+//! the same machine class that produced the first committed
+//! `BENCH_engine.json`; [`report`] prints current-vs-baseline so the
+//! speedup is auditable from the artifact alone.
+
+use std::time::Instant;
+
+use wave_core::OptLevel;
+use wave_ghost::policies::FifoPolicy;
+use wave_ghost::sim::{Placement, SchedConfig, SchedSim};
+use wave_kvstore::footprint::{AccessPattern, DbFootprint, FootprintConfig};
+use wave_memmgr::{RunnerConfig, ShardedSolRunner, SolConfig};
+use wave_sim::cpu::{CoreClass, CpuModel};
+use wave_sim::{Sim, SimTime};
+
+use crate::report::{PaperRow, Report};
+
+/// Pure-engine events/sec measured at the pre-refactor commit (binary
+/// heap + `HashSet` lazy cancellation + per-event boxed-closure
+/// allocation), release mode. The acceptance gate for the overhaul is
+/// `pure_engine >= 1.5x` this number on the machine that recorded it.
+pub const PRE_REFACTOR_BASELINE: [(&str, f64); 4] = [
+    ("pure_engine", 7.6e6),
+    ("pure_engine_cancel", 2.1e6),
+    ("sched_sim", 1.8e5),
+    ("sharded_sol", 2.7e6),
+];
+
+/// The recorded baseline for a workload, if one exists.
+pub fn baseline(workload: &str) -> Option<f64> {
+    PRE_REFACTOR_BASELINE
+        .iter()
+        .find(|(w, _)| *w == workload)
+        .map(|&(_, v)| v)
+}
+
+/// Engine-throughput sweep configuration.
+#[derive(Debug, Clone)]
+pub struct EngineBenchConfig {
+    /// Events to execute in each pure-engine workload.
+    pub pure_events: u64,
+    /// Concurrent self-rearming timers in the pure-engine workloads.
+    pub pure_timers: usize,
+    /// Simulated duration of the `sched_sim` workload.
+    pub sched_duration: SimTime,
+    /// Worker cores of the `sched_sim` workload.
+    pub sched_workers: u32,
+    /// Iterations of the `sharded_sol` workload.
+    pub sol_iterations: u32,
+    /// Address-space scale of the `sharded_sol` workload (1.0 = paper).
+    pub sol_scale: f64,
+}
+
+impl EngineBenchConfig {
+    /// Full-fidelity measurement (the committed `BENCH_engine.json`).
+    pub fn paper() -> Self {
+        EngineBenchConfig {
+            pure_events: 2_000_000,
+            pure_timers: 4_096,
+            sched_duration: SimTime::from_ms(300),
+            sched_workers: 16,
+            sol_iterations: 6,
+            sol_scale: 0.5,
+        }
+    }
+
+    /// CI-speed measurement (same workloads, smaller budgets).
+    pub fn quick() -> Self {
+        EngineBenchConfig {
+            pure_events: 300_000,
+            pure_timers: 1_024,
+            sched_duration: SimTime::from_ms(60),
+            sol_iterations: 2,
+            sol_scale: 0.25,
+            ..Self::paper()
+        }
+    }
+}
+
+/// One measured workload.
+#[derive(Debug, Clone)]
+pub struct EngineRow {
+    /// Workload id (`pure_engine`, `pure_engine_cancel`, `sched_sim`,
+    /// `sharded_sol`).
+    pub workload: &'static str,
+    /// Simulation events executed (due-batch scans for `sharded_sol`).
+    pub events: u64,
+    /// Wall-clock time the run took.
+    pub wall_ns: u64,
+    /// The headline number: events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// The full engine-throughput measurement.
+#[derive(Debug, Clone)]
+pub struct EngineBenchResult {
+    /// One row per workload.
+    pub rows: Vec<EngineRow>,
+}
+
+impl EngineBenchResult {
+    /// Events/sec for a workload, if measured.
+    pub fn events_per_sec(&self, workload: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload)
+            .map(|r| r.events_per_sec)
+    }
+
+    /// Renders the measurement as `BENCH_engine.json` (hand-rolled JSON:
+    /// the vendored serde stub has no JSON serializer, and the schema is
+    /// four flat rows).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"wave-engine-bench/v1\",\n");
+        out.push_str("  \"unit\": \"sim-events per wall-clock second\",\n");
+        out.push_str("  \"pre_refactor_baseline\": {\n");
+        for (i, (w, v)) in PRE_REFACTOR_BASELINE.iter().enumerate() {
+            let sep = if i + 1 == PRE_REFACTOR_BASELINE.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!("    \"{w}\": {v:.1}{sep}\n"));
+        }
+        out.push_str("  },\n  \"workloads\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let sep = if i + 1 == self.rows.len() { "" } else { "," };
+            let speedup = baseline(r.workload)
+                .map(|b| format!(", \"speedup_vs_baseline\": {:.3}", r.events_per_sec / b))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"events\": {}, \"wall_ns\": {}, \
+                 \"events_per_sec\": {:.1}{}}}{}\n",
+                r.workload, r.events, r.wall_ns, r.events_per_sec, speedup, sep
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Model for the pure-engine workloads: each event re-arms itself until
+/// the global budget is spent; a counter is the only model state.
+struct TimerModel {
+    fired: u64,
+    budget: u64,
+}
+
+/// Deterministic mixed-horizon delay table (ns). Mostly short-horizon
+/// (µs-scale, the dominant shape in the scheduling sims) with a far tail
+/// that lands in the engine's overflow structure.
+const DELAYS: [u64; 16] = [
+    130, 270, 410, 550, 700, 830, 970, 1_100, 1_300, 1_700, 2_300, 3_100, 4_300, 6_700, 90_000,
+    1_000_000,
+];
+
+/// Runs the `pure_engine` workload: `timers` self-rearming events, no
+/// cancellations. Returns (events, wall).
+fn run_pure(timers: usize, events: u64) -> (u64, u64) {
+    let mut sim: Sim<TimerModel> = Sim::new();
+    let mut model = TimerModel {
+        fired: 0,
+        budget: events,
+    };
+    for i in 0..timers {
+        let lane = i % DELAYS.len();
+        sim.schedule(
+            SimTime::from_ns(DELAYS[lane] + i as u64),
+            move |m: &mut TimerModel, s| rearm(m, s, lane),
+        );
+    }
+    let t0 = Instant::now();
+    sim.run(&mut model);
+    let wall = t0.elapsed().as_nanos() as u64;
+    (model.fired, wall)
+}
+
+fn rearm(m: &mut TimerModel, s: &mut Sim<TimerModel>, lane: usize) {
+    m.fired += 1;
+    if m.fired >= m.budget {
+        if m.fired == m.budget {
+            s.stop();
+        }
+        return;
+    }
+    // Rotate the lane so every timer walks the whole horizon mix.
+    let next = (lane + 1) % DELAYS.len();
+    s.schedule_in(SimTime::from_ns(DELAYS[next]), move |m, s| {
+        rearm(m, s, next)
+    });
+}
+
+/// Runs the `pure_engine_cancel` workload: every fired event schedules a
+/// companion "timeout" that is cancelled on the next firing — the
+/// timer-wheel shape where most armed timers never fire. Returns
+/// (events, wall).
+fn run_pure_cancel(timers: usize, events: u64) -> (u64, u64) {
+    use wave_sim::EventId;
+    struct CancelModel {
+        fired: u64,
+        budget: u64,
+        timeouts: Vec<Option<EventId>>,
+    }
+    fn tick(m: &mut CancelModel, s: &mut Sim<CancelModel>, lane: usize, slot: usize) {
+        m.fired += 1;
+        if m.fired >= m.budget {
+            if m.fired == m.budget {
+                s.stop();
+            }
+            return;
+        }
+        // The previous timeout did not fire in time: cancel and re-arm.
+        if let Some(id) = m.timeouts[slot].take() {
+            s.cancel(id);
+        }
+        let next = (lane + 1) % DELAYS.len();
+        let timeout = s.schedule_in(
+            SimTime::from_ns(DELAYS[next] * 4),
+            move |m: &mut CancelModel, s| tick(m, s, next, slot),
+        );
+        m.timeouts[slot] = Some(timeout);
+        s.schedule_in(SimTime::from_ns(DELAYS[next]), move |m, s| {
+            tick(m, s, next, slot)
+        });
+    }
+    let mut sim: Sim<CancelModel> = Sim::new();
+    let mut model = CancelModel {
+        fired: 0,
+        budget: events,
+        timeouts: vec![None; timers],
+    };
+    for i in 0..timers {
+        let lane = i % DELAYS.len();
+        sim.schedule(
+            SimTime::from_ns(DELAYS[lane] + i as u64),
+            move |m: &mut CancelModel, s| tick(m, s, lane, i),
+        );
+    }
+    let t0 = Instant::now();
+    sim.run(&mut model);
+    let wall = t0.elapsed().as_nanos() as u64;
+    (model.fired, wall)
+}
+
+/// Runs the `sched_sim` workload and returns (events, wall).
+fn run_sched(cfg: &EngineBenchConfig) -> (u64, u64) {
+    let mut sc = SchedConfig::new(cfg.sched_workers, Placement::Offloaded, OptLevel::full());
+    sc.duration = cfg.sched_duration;
+    sc.warmup = SimTime::from_ms(5);
+    // Saturating load so the event stream is dense (capacity ~= workers
+    // per 10 us service time).
+    sc.offered = cfg.sched_workers as f64 * 100_000.0 * 1.2;
+    let sim = SchedSim::new(sc, Box::new(FifoPolicy::new()));
+    let t0 = Instant::now();
+    let report = sim.run();
+    let wall = t0.elapsed().as_nanos() as u64;
+    (report.events_executed, wall)
+}
+
+/// Runs the `sharded_sol` workload and returns (events, wall), where one
+/// "event" is one due-batch scan.
+fn run_sharded_sol(cfg: &EngineBenchConfig) -> (u64, u64) {
+    let fp = DbFootprint::new(
+        FootprintConfig::paper(cfg.sol_scale),
+        AccessPattern::Scattered,
+        42,
+    );
+    let runner_cfg = RunnerConfig::paper(CoreClass::NicArm, 4);
+    let mut sharded = ShardedSolRunner::new(
+        runner_cfg,
+        CpuModel::mount_evans(),
+        2,
+        SolConfig::paper(),
+        fp.batches(),
+        42,
+    )
+    // Sequential execution: this measures per-core scan throughput, not
+    // thread fan-out.
+    .with_threads(false);
+    let t0 = Instant::now();
+    let mut scans = 0u64;
+    let mut now = SimTime::ZERO;
+    for _ in 0..cfg.sol_iterations {
+        let (stats, cost) = sharded.run_iteration(&fp, now);
+        scans += stats.scanned;
+        now += cost.wall();
+    }
+    let wall = t0.elapsed().as_nanos() as u64;
+    (scans, wall)
+}
+
+/// Every workload id, in report order.
+pub const WORKLOADS: [&str; 4] = [
+    "pure_engine",
+    "pure_engine_cancel",
+    "sched_sim",
+    "sharded_sol",
+];
+
+/// Runs one workload by id. Returns `None` for an unknown id.
+pub fn run_one(cfg: &EngineBenchConfig, workload: &str) -> Option<EngineRow> {
+    let (workload, (events, wall_ns)) = match workload {
+        "pure_engine" => ("pure_engine", run_pure(cfg.pure_timers, cfg.pure_events)),
+        "pure_engine_cancel" => (
+            "pure_engine_cancel",
+            run_pure_cancel(cfg.pure_timers, cfg.pure_events),
+        ),
+        "sched_sim" => ("sched_sim", run_sched(cfg)),
+        "sharded_sol" => ("sharded_sol", run_sharded_sol(cfg)),
+        _ => return None,
+    };
+    Some(EngineRow {
+        workload,
+        events,
+        wall_ns,
+        events_per_sec: events as f64 / (wall_ns.max(1) as f64 / 1e9),
+    })
+}
+
+/// Runs all four workloads.
+pub fn run(cfg: &EngineBenchConfig) -> EngineBenchResult {
+    EngineBenchResult {
+        rows: WORKLOADS
+            .iter()
+            .map(|w| run_one(cfg, w).expect("known workload"))
+            .collect(),
+    }
+}
+
+/// Writes `json` to `path` (conventionally `BENCH_engine.json` in the
+/// repo root, so the artifact diffs PR-over-PR).
+pub fn write_bench_json(path: &std::path::Path, result: &EngineBenchResult) -> std::io::Result<()> {
+    std::fs::write(path, result.to_json())
+}
+
+/// Builds the engine-throughput report: the "paper" column is the
+/// recorded pre-refactor baseline, so the ratio column *is* the speedup.
+pub fn report(cfg: &EngineBenchConfig) -> Report {
+    report_from(&run(cfg))
+}
+
+/// Builds the report from an existing measurement.
+pub fn report_from(result: &EngineBenchResult) -> Report {
+    let mut r = Report::new("Engine throughput (sim-events/sec)");
+    for row in &result.rows {
+        r.push(PaperRow::new(
+            row.workload,
+            baseline(row.workload).unwrap_or(0.0),
+            row.events_per_sec,
+            "ev/s",
+        ));
+    }
+    r.note(
+        "'paper' column = recorded pre-refactor baseline (binary-heap engine), same machine class"
+            .to_string(),
+    );
+    r.note("BENCH_engine.json carries the same rows for PR-over-PR tracking".to_string());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_engine_executes_exact_budget() {
+        let (events, _) = run_pure(64, 5_000);
+        assert_eq!(events, 5_000);
+    }
+
+    #[test]
+    fn cancel_workload_executes_exact_budget() {
+        let (events, _) = run_pure_cancel(64, 5_000);
+        assert_eq!(events, 5_000);
+    }
+
+    #[test]
+    fn all_workloads_report_positive_throughput() {
+        let cfg = EngineBenchConfig {
+            pure_events: 20_000,
+            pure_timers: 256,
+            sched_duration: SimTime::from_ms(10),
+            sched_workers: 4,
+            sol_iterations: 1,
+            sol_scale: 0.05,
+        };
+        let result = run(&cfg);
+        assert_eq!(result.rows.len(), 4);
+        for row in &result.rows {
+            assert!(row.events > 0, "{} ran no events", row.workload);
+            assert!(
+                row.events_per_sec > 0.0,
+                "{} has no throughput",
+                row.workload
+            );
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let result = EngineBenchResult {
+            rows: vec![EngineRow {
+                workload: "pure_engine",
+                events: 10,
+                wall_ns: 100,
+                events_per_sec: 1e8,
+            }],
+        };
+        let json = result.to_json();
+        assert!(json.contains("\"schema\": \"wave-engine-bench/v1\""));
+        assert!(json.contains("\"pre_refactor_baseline\""));
+        assert!(json.contains("\"pure_engine\""));
+        assert!(json.contains("\"speedup_vs_baseline\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn baseline_rows_exist_for_all_workloads() {
+        for w in [
+            "pure_engine",
+            "pure_engine_cancel",
+            "sched_sim",
+            "sharded_sol",
+        ] {
+            assert!(baseline(w).is_some(), "no recorded baseline for {w}");
+        }
+    }
+}

@@ -20,10 +20,12 @@
 //! | [`scaling`] | §6 scale-out — scheduler throughput vs agent count |
 //! | [`mem_scaling`] | §6 scale-out — SOL iteration duration vs shard count |
 //! | [`rebalance`] | dynamic shard rebalancing under skewed load, both agents |
+//! | [`engine`] | engine throughput — sim-events/sec, tracked in `BENCH_engine.json` |
 //!
 //! Independent load points run in parallel on `std::thread` workers
 //! ([`par::par_map`]); each point is its own deterministic simulation.
 
+pub mod engine;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

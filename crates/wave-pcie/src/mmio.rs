@@ -24,8 +24,6 @@
 //!   same API provides hardware coherence — device writes invalidate host
 //!   snapshots automatically and `clflush` becomes a no-op.
 
-use std::collections::HashMap;
-
 use crate::config::PcieConfig;
 use crate::pte::PteType;
 use wave_sim::SimTime;
@@ -83,20 +81,21 @@ struct CacheLine {
     snapshot_at: SimTime,
 }
 
-#[derive(Debug, Default, Clone)]
-struct WcLine {
-    pending_words: u64,
-}
-
+/// Per-line state, directly indexed by line number. Regions are bounded
+/// (a queue's ring plus a few doorbell lines — `map_region` is told the
+/// exact line count up front), so dense `Vec`s beat hash maps on the
+/// per-access path: the line index *is* the address, no hashing at all.
 #[derive(Debug)]
 struct Region {
     pte: PteType,
     lines: u64,
-    cache: HashMap<u64, CacheLine>,
-    wc: HashMap<u64, WcLine>,
+    /// Cached snapshot per line (`None` = not cached).
+    cache: Vec<Option<CacheLine>>,
+    /// Words pending in the write-combining buffer per line (0 = none).
+    wc: Vec<u64>,
     /// Last device-side write per line — drives hardware-coherence
     /// invalidation in UPI mode and staleness assertions in tests.
-    device_writes: HashMap<u64, SimTime>,
+    device_writes: Vec<Option<SimTime>>,
 }
 
 /// Telemetry counters for the MMIO model.
@@ -172,9 +171,9 @@ impl HostMmio {
         self.regions.push(Region {
             pte,
             lines,
-            cache: HashMap::new(),
-            wc: HashMap::new(),
-            device_writes: HashMap::new(),
+            cache: vec![None; lines as usize],
+            wc: vec![0; lines as usize],
+            device_writes: vec![None; lines as usize],
         });
         id
     }
@@ -192,8 +191,8 @@ impl HostMmio {
         );
         let r = self.region_mut(region);
         r.pte = pte;
-        r.cache.clear();
-        r.wc.clear();
+        r.cache.fill(None);
+        r.wc.fill(0);
     }
 
     /// The PTE type of a region.
@@ -219,10 +218,12 @@ impl HostMmio {
     pub fn note_device_write(&mut self, addr: LineAddr, at: SimTime) {
         let coherent = self.cfg.is_coherent();
         let r = self.region_mut(addr.region);
-        let entry = r.device_writes.entry(addr.line).or_insert(at);
+        assert!(addr.line < r.lines, "line {} out of bounds", addr.line);
+        let line = addr.line as usize;
+        let entry = r.device_writes[line].get_or_insert(at);
         *entry = (*entry).max(at);
         if coherent {
-            r.cache.remove(&addr.line);
+            r.cache[line] = None;
         }
     }
 
@@ -244,16 +245,17 @@ impl HostMmio {
         let (outcome, kind) = {
             let r = self.region_mut(addr.region);
             assert!(addr.line < r.lines, "line {} out of bounds", addr.line);
+            let idx = addr.line as usize;
             // Hardware coherence: a device store that has landed since
             // our snapshot invalidates the cached copy, even if the line
             // was filled while the store was still in flight.
             if coherent {
-                let stale = match (r.cache.get(&addr.line), r.device_writes.get(&addr.line)) {
-                    (Some(line), Some(&w)) => w > line.snapshot_at && w <= now,
+                let stale = match (r.cache[idx], r.device_writes[idx]) {
+                    (Some(line), Some(w)) => w > line.snapshot_at && w <= now,
                     _ => false,
                 };
                 if stale {
-                    r.cache.remove(&addr.line);
+                    r.cache[idx] = None;
                 }
             }
             match r.pte {
@@ -268,7 +270,7 @@ impl HostMmio {
                     Kind::Miss,
                 ),
                 PteType::WriteThrough | PteType::WriteBack => {
-                    if let Some(line) = r.cache.get(&addr.line).copied() {
+                    if let Some(line) = r.cache[idx] {
                         if line.ready_at <= now {
                             // Plain hit: may be stale; reader sees the
                             // old snapshot.
@@ -296,13 +298,10 @@ impl HostMmio {
                     } else {
                         // Miss: full round trip; install a snapshot.
                         let snapshot_at = now + SimTime::from_ns(one_way);
-                        r.cache.insert(
-                            addr.line,
-                            CacheLine {
-                                ready_at: now + SimTime::from_ns(read_ns),
-                                snapshot_at,
-                            },
-                        );
+                        r.cache[idx] = Some(CacheLine {
+                            ready_at: now + SimTime::from_ns(read_ns),
+                            snapshot_at,
+                        });
                         (
                             ReadOutcome {
                                 cpu: SimTime::from_ns(read_ns),
@@ -342,12 +341,13 @@ impl HostMmio {
         let mut autodrained = false;
         let r = self.region_mut(addr.region);
         assert!(addr.line < r.lines, "line {} out of bounds", addr.line);
+        let idx = addr.line as usize;
         let outcome = match r.pte {
             PteType::Uncacheable | PteType::WriteThrough | PteType::WriteBack => {
                 let cpu = SimTime::from_ns(uc_ns * words);
                 // Write-through also refreshes the local snapshot if the
                 // line is cached (stores go to cache and memory).
-                if let Some(line) = r.cache.get_mut(&addr.line) {
+                if let Some(line) = &mut r.cache[idx] {
                     line.snapshot_at = line.snapshot_at.max(now);
                 }
                 WriteOutcome {
@@ -357,11 +357,10 @@ impl HostMmio {
             }
             PteType::WriteCombining => {
                 let cpu = SimTime::from_ns(wc_ns * words);
-                let wc = r.wc.entry(addr.line).or_default();
-                wc.pending_words += words;
-                if wc.pending_words >= words_per_line {
+                r.wc[idx] += words;
+                if r.wc[idx] >= words_per_line {
                     // Line filled: the buffer auto-drains this line.
-                    r.wc.remove(&addr.line);
+                    r.wc[idx] = 0;
                     autodrained = true;
                     WriteOutcome {
                         cpu,
@@ -388,7 +387,7 @@ impl HostMmio {
         self.stats.fences += 1;
         let cpu = SimTime::from_ns(self.cfg.wc_flush_ns);
         for r in &mut self.regions {
-            r.wc.clear();
+            r.wc.fill(0);
         }
         WriteOutcome {
             cpu,
@@ -406,7 +405,8 @@ impl HostMmio {
         }
         self.stats.flushes += 1;
         let r = self.region_mut(addr.region);
-        r.cache.remove(&addr.line);
+        assert!(addr.line < r.lines, "line {} out of bounds", addr.line);
+        r.cache[addr.line as usize] = None;
         SimTime::from_ns(self.cfg.clflush_ns)
     }
 
@@ -425,7 +425,7 @@ impl HostMmio {
         self.stats.prefetches += 1;
         let r = self.region_mut(addr.region);
         assert!(addr.line < r.lines, "line {} out of bounds", addr.line);
-        r.cache.entry(addr.line).or_insert(CacheLine {
+        r.cache[addr.line as usize].get_or_insert(CacheLine {
             ready_at: now + SimTime::from_ns(read_ns),
             snapshot_at: now + SimTime::from_ns(one_way),
         });
@@ -437,8 +437,12 @@ impl HostMmio {
     /// to prove the coherence hazard is real.
     pub fn is_stale(&self, addr: LineAddr) -> bool {
         let r = &self.regions[addr.region.0 as usize];
-        match (r.cache.get(&addr.line), r.device_writes.get(&addr.line)) {
-            (Some(line), Some(&w)) => w > line.snapshot_at,
+        let idx = addr.line as usize;
+        match (
+            r.cache.get(idx).copied().flatten(),
+            r.device_writes.get(idx).copied().flatten(),
+        ) {
+            (Some(line), Some(w)) => w > line.snapshot_at,
             _ => false,
         }
     }

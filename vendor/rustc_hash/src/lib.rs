@@ -1,0 +1,146 @@
+//! Offline stand-in for the `rustc-hash` crate.
+//!
+//! Implements the Fx hash function (the multiply-based hasher used by
+//! rustc itself) with the same public API surface the workspace uses:
+//! [`FxHasher`], [`FxBuildHasher`], [`FxHashMap`], [`FxHashSet`].
+//!
+//! Fx is *not* a cryptographic or DoS-resistant hash; it trades
+//! avalanche quality for a handful of cycles per word, which is the
+//! right trade for the simulator's hot maps: keys are trusted small
+//! integers (thread ids, transaction ids, cache-line indices) produced
+//! by the simulation itself, and the maps are probed millions of times
+//! per run. Crucially for this workspace, Fx is fully deterministic —
+//! no per-process random seed, unlike `std`'s SipHash `RandomState` —
+//! so map iteration order (where it leaks into traces) is identical
+//! across runs and machines.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Zero-sized `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// 64-bit Fx state: `state = (state rotl 5 ^ word) * SEED` per word.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher: a word-at-a-time multiply hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in rem.iter().enumerate() {
+                word |= (b as u64) << (8 * i);
+            }
+            self.add_to_hash(word);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(k);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000, "no collisions on small dense keys");
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.get(&1), Some(&10));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_padding() {
+        // Partial-chunk path: 3 trailing bytes are zero-extended.
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let full = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write_u64(u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        h2.add_to_hash(u64::from_le_bytes([9, 10, 11, 0, 0, 0, 0, 0]));
+        assert_eq!(full, h2.finish());
+    }
+}
