@@ -107,11 +107,45 @@ fn audit_sched_sim_pump() {
     println!("alloc-audit sched_sim_pump: {during} allocs / {events} events");
 }
 
+/// Steady-state SchedSim is allocation-free per event: differential
+/// audit. One short and one long run share every config knob, so their
+/// warm-up allocations (thread-table slab growth, histograms, queue
+/// rings, scratch buffers reaching high-water marks) are identical and
+/// cancel when subtracted. What remains is the per-event steady-state
+/// allocation rate over the extra simulated window — with the arena
+/// thread table and intrusive run queues it must be (essentially) zero.
+fn audit_sched_sim_steady_state() {
+    fn run(ms: u64) -> (u64, u64) {
+        let mut sc = SchedConfig::new(16, Placement::Offloaded, OptLevel::full());
+        sc.duration = SimTime::from_ms(ms);
+        sc.warmup = SimTime::from_ms(5);
+        sc.offered = 16.0 * 100_000.0 * 1.2;
+        let sim = SchedSim::new(sc, Box::new(FifoPolicy::new()));
+        let before = allocs();
+        let report = sim.run();
+        (allocs() - before, report.events_executed)
+    }
+    // Both runs are past every capacity high-water mark (the outstanding
+    // cap binds ~62 ms in; 100 ms is safely beyond it).
+    let (short_allocs, short_events) = run(100);
+    let (long_allocs, long_events) = run(400);
+    let d_allocs = long_allocs.saturating_sub(short_allocs);
+    let d_events = long_events - short_events;
+    assert!(d_events > 500_000, "audit underpowered: {d_events} events");
+    assert!(
+        d_allocs * 100 <= d_events,
+        "sched sim steady state hit the allocator: {d_allocs} allocations \
+         over {d_events} marginal events (budget: 1 per 100 events)"
+    );
+    println!("alloc-audit sched_sim_steady_state: {d_allocs} allocs / {d_events} marginal events");
+}
+
 fn mechanisms(c: &mut Criterion) {
     bench::banner("mechanism microbenchmarks");
 
     audit_engine_steady_state();
     audit_sched_sim_pump();
+    audit_sched_sim_steady_state();
 
     c.bench_function("des_engine_1k_events", |b| {
         b.iter(|| {

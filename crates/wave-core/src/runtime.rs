@@ -615,6 +615,19 @@ impl<M, D: Copy> AgentRuntime<M, D> {
         self.msg_q.poll_nic(now, ic, max)
     }
 
+    /// [`AgentRuntime::poll`] into a caller-owned buffer — the
+    /// allocation-free variant the hot pump loop uses. Appends at most
+    /// `max` messages to `out` and returns the agent CPU time.
+    pub fn poll_into(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        max: usize,
+        out: &mut Vec<M>,
+    ) -> SimTime {
+        self.msg_q.poll_nic_into(now, ic, max, out)
+    }
+
     /// When pushed-but-not-yet-visible messages can next be seen.
     pub fn next_visible_at(&self) -> Option<SimTime> {
         self.msg_q.next_visible_at()

@@ -4,6 +4,10 @@
 //! class — to SmartNIC agents (§4.1). This crate rebuilds that substrate
 //! on the Wave stack:
 //!
+//! * [`arena`] — the generational [`ThreadTable`] slab every per-thread
+//!   lookup resolves through, plus the intrusive [`arena::ThreadQueue`]
+//!   run queues the policies link through its rows (the hot-path data
+//!   layout; see `docs/ARCHITECTURE.md`).
 //! * [`msg`] — the thread-lifecycle message stream the kernel sends the
 //!   agent (created/wakeup/blocked/yield/dead), as in ghOSt.
 //! * [`policy`] — the policy trait an agent runs, plus thread metadata
@@ -28,6 +32,7 @@
 //! [`OptLevel`](wave_core::OptLevel) differ — the paper's
 //! "apples-to-apples" methodology.
 
+pub mod arena;
 pub mod cost;
 pub mod microbench;
 pub mod msg;
@@ -36,6 +41,7 @@ pub mod policy;
 pub mod sim;
 pub mod slots;
 
+pub use arena::{ThreadQueue, ThreadRun, ThreadTable};
 pub use cost::CostModel;
 pub use msg::{CpuId, SchedMsg, SchedMsgKind, Tid};
 pub use policy::{SchedPolicy, SloClass, ThreadMeta};

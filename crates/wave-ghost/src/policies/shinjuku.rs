@@ -1,9 +1,8 @@
 //! Single-queue Shinjuku (§7.2.3).
 
-use std::collections::VecDeque;
-
 use wave_sim::SimTime;
 
+use crate::arena::{ThreadQueue, ThreadTable};
 use crate::msg::Tid;
 use crate::policy::{SchedPolicy, ThreadMeta};
 
@@ -15,7 +14,7 @@ use crate::policy::{SchedPolicy, ThreadMeta};
 /// mix, which makes the MSI-X preemption path load-bearing.
 #[derive(Debug)]
 pub struct ShinjukuPolicy {
-    queue: VecDeque<Tid>,
+    queue: ThreadQueue,
     slice: SimTime,
 }
 
@@ -28,7 +27,7 @@ impl ShinjukuPolicy {
     pub fn new(slice: SimTime) -> Self {
         assert!(slice > SimTime::ZERO, "time slice must be positive");
         ShinjukuPolicy {
-            queue: VecDeque::new(),
+            queue: ThreadQueue::new(),
             slice,
         }
     }
@@ -44,17 +43,17 @@ impl SchedPolicy for ShinjukuPolicy {
         "shinjuku"
     }
 
-    fn on_runnable(&mut self, _now: SimTime, tid: Tid, _meta: ThreadMeta) {
+    fn on_runnable(&mut self, threads: &mut ThreadTable, _now: SimTime, tid: Tid, _m: ThreadMeta) {
         // Preempted threads re-enter at the tail: round-robin.
-        self.queue.push_back(tid);
+        self.queue.push_back(threads, tid);
     }
 
-    fn on_removed(&mut self, _now: SimTime, tid: Tid) {
-        self.queue.retain(|&t| t != tid);
+    fn on_removed(&mut self, threads: &mut ThreadTable, _now: SimTime, tid: Tid) {
+        self.queue.remove(threads, tid);
     }
 
-    fn pick_next(&mut self, _now: SimTime) -> Option<Tid> {
-        self.queue.pop_front()
+    fn pick_next(&mut self, threads: &mut ThreadTable, _now: SimTime) -> Option<Tid> {
+        self.queue.pop_front(threads)
     }
 
     fn queue_depth(&self) -> usize {
@@ -73,6 +72,11 @@ impl SchedPolicy for ShinjukuPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::SloClass;
+
+    fn admit(table: &mut ThreadTable) -> Tid {
+        table.insert(SimTime::from_us(10), SimTime::ZERO, SloClass::DEFAULT)
+    }
 
     #[test]
     fn paper_slice_is_30us() {
@@ -82,15 +86,23 @@ mod tests {
 
     #[test]
     fn preempted_goes_to_tail() {
+        let mut table = ThreadTable::new();
         let mut p = ShinjukuPolicy::paper_default();
-        p.on_runnable(SimTime::ZERO, Tid(1), ThreadMeta::at(SimTime::ZERO));
-        p.on_runnable(SimTime::ZERO, Tid(2), ThreadMeta::at(SimTime::ZERO));
-        let first = p.pick_next(SimTime::ZERO).unwrap();
-        assert_eq!(first, Tid(1));
-        // Tid(1) is preempted and re-queued: it must go behind Tid(2).
-        p.on_runnable(SimTime::from_us(30), Tid(1), ThreadMeta::at(SimTime::ZERO));
-        assert_eq!(p.pick_next(SimTime::ZERO), Some(Tid(2)));
-        assert_eq!(p.pick_next(SimTime::ZERO), Some(Tid(1)));
+        let a = admit(&mut table);
+        let b = admit(&mut table);
+        p.on_runnable(&mut table, SimTime::ZERO, a, ThreadMeta::at(SimTime::ZERO));
+        p.on_runnable(&mut table, SimTime::ZERO, b, ThreadMeta::at(SimTime::ZERO));
+        let first = p.pick_next(&mut table, SimTime::ZERO).unwrap();
+        assert_eq!(first, a);
+        // `a` is preempted and re-queued: it must go behind `b`.
+        p.on_runnable(
+            &mut table,
+            SimTime::from_us(30),
+            a,
+            ThreadMeta::at(SimTime::ZERO),
+        );
+        assert_eq!(p.pick_next(&mut table, SimTime::ZERO), Some(b));
+        assert_eq!(p.pick_next(&mut table, SimTime::ZERO), Some(a));
     }
 
     #[test]

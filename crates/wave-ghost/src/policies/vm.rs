@@ -1,9 +1,8 @@
 //! The GCE virtual-machine scheduling policy (§7.2.4).
 
-use std::collections::VecDeque;
-
 use wave_sim::SimTime;
 
+use crate::arena::{ThreadQueue, ThreadTable};
 use crate::msg::Tid;
 use crate::policy::{SchedPolicy, ThreadMeta};
 
@@ -15,21 +14,20 @@ use crate::policy::{SchedPolicy, ThreadMeta};
 /// fairness as vCPUs may consume varying amounts of CPU time within
 /// their assigned quantum."
 ///
-/// The policy keeps per-vCPU virtual runtimes and always runs the vCPU
-/// with the least accumulated CPU time (a deficit round-robin
-/// approximation of Tableau's table-driven plan). Because decisions are
+/// The policy always runs the vCPU with the least accumulated CPU time
+/// (a deficit round-robin approximation of Tableau's table-driven plan).
+/// The accumulated runtime lives in the vCPU's [`ThreadTable`] arena row
+/// (`vruntime`) — the run queue is an intrusive list ordered by a
+/// runtime snapshot taken at enqueue, so the account/on_runnable path
+/// touches only the row the event is about. Because decisions are
 /// needed only every few milliseconds, the paper's offloaded variant
 /// disables both prestaging and prefetching — and, crucially, disables
 /// host timer ticks (Fig. 5's effect).
 #[derive(Debug)]
 pub struct VmPolicy {
-    /// Runnable vCPUs ordered by accumulated runtime (smallest first).
-    queue: VecDeque<(Tid, SimTime)>,
-    /// Accumulated runtime of every known vCPU, indexed by vCPU id.
-    /// Dense: vCPU ids are small sequential integers (tens per host),
-    /// so a direct-indexed `Vec` beats any hash map on the account/
-    /// on_runnable path.
-    runtime: Vec<SimTime>,
+    /// Runnable vCPUs ordered by accumulated runtime (smallest first;
+    /// ties keep insertion order).
+    queue: ThreadQueue,
     quantum: SimTime,
 }
 
@@ -42,20 +40,9 @@ impl VmPolicy {
     pub fn new(quantum: SimTime) -> Self {
         assert!(quantum > SimTime::ZERO, "quantum must be positive");
         VmPolicy {
-            queue: VecDeque::new(),
-            runtime: Vec::new(),
+            queue: ThreadQueue::new(),
             quantum,
         }
-    }
-
-    /// Accumulated-runtime cell for a vCPU, growing the table on first
-    /// sight of a new id.
-    fn runtime_cell(&mut self, tid: Tid) -> &mut SimTime {
-        let idx = tid.0 as usize;
-        if idx >= self.runtime.len() {
-            self.runtime.resize(idx + 1, SimTime::ZERO);
-        }
-        &mut self.runtime[idx]
     }
 
     /// The paper's configuration: quanta in the 5–10 ms range; we use the
@@ -71,9 +58,12 @@ impl VmPolicy {
     }
 
     /// Records `ran` of CPU time for a vCPU (called by the enforcement
-    /// layer after a quantum ends).
-    pub fn account(&mut self, tid: Tid, ran: SimTime) {
-        *self.runtime_cell(tid) += ran;
+    /// layer after a quantum ends). A stale id is a no-op — the vCPU
+    /// already exited.
+    pub fn account(&mut self, threads: &mut ThreadTable, tid: Tid, ran: SimTime) {
+        if let Some(s) = threads.get_mut(tid) {
+            s.vruntime += ran;
+        }
     }
 }
 
@@ -82,23 +72,20 @@ impl SchedPolicy for VmPolicy {
         "vm-tableau"
     }
 
-    fn on_runnable(&mut self, _now: SimTime, tid: Tid, _meta: ThreadMeta) {
-        let rt = *self.runtime_cell(tid);
+    fn on_runnable(&mut self, threads: &mut ThreadTable, _now: SimTime, tid: Tid, _m: ThreadMeta) {
+        let Some(rt) = threads.get(tid).map(|s| s.vruntime) else {
+            return;
+        };
         // Insert ordered by accumulated runtime: least-run first.
-        let pos = self
-            .queue
-            .iter()
-            .position(|&(_, r)| r > rt)
-            .unwrap_or(self.queue.len());
-        self.queue.insert(pos, (tid, rt));
+        self.queue.insert_by_key(threads, tid, rt);
     }
 
-    fn on_removed(&mut self, _now: SimTime, tid: Tid) {
-        self.queue.retain(|&(t, _)| t != tid);
+    fn on_removed(&mut self, threads: &mut ThreadTable, _now: SimTime, tid: Tid) {
+        self.queue.remove(threads, tid);
     }
 
-    fn pick_next(&mut self, _now: SimTime) -> Option<Tid> {
-        self.queue.pop_front().map(|(t, _)| t)
+    fn pick_next(&mut self, threads: &mut ThreadTable, _now: SimTime) -> Option<Tid> {
+        self.queue.pop_front(threads)
     }
 
     fn queue_depth(&self) -> usize {
@@ -124,17 +111,25 @@ impl SchedPolicy for VmPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::SloClass;
+
+    fn vcpu(table: &mut ThreadTable) -> Tid {
+        table.insert(SimTime::from_ms(100), SimTime::ZERO, SloClass::DEFAULT)
+    }
 
     #[test]
     fn least_runtime_first() {
+        let mut table = ThreadTable::new();
         let mut p = VmPolicy::paper_default();
-        p.account(Tid(1), SimTime::from_ms(10));
-        p.account(Tid(2), SimTime::from_ms(2));
-        p.on_runnable(SimTime::ZERO, Tid(1), ThreadMeta::at(SimTime::ZERO));
-        p.on_runnable(SimTime::ZERO, Tid(2), ThreadMeta::at(SimTime::ZERO));
+        let a = vcpu(&mut table);
+        let b = vcpu(&mut table);
+        p.account(&mut table, a, SimTime::from_ms(10));
+        p.account(&mut table, b, SimTime::from_ms(2));
+        p.on_runnable(&mut table, SimTime::ZERO, a, ThreadMeta::at(SimTime::ZERO));
+        p.on_runnable(&mut table, SimTime::ZERO, b, ThreadMeta::at(SimTime::ZERO));
         assert_eq!(
-            p.pick_next(SimTime::ZERO),
-            Some(Tid(2)),
+            p.pick_next(&mut table, SimTime::ZERO),
+            Some(b),
             "least-run vCPU first"
         );
     }
@@ -149,16 +144,30 @@ mod tests {
 
     #[test]
     fn fairness_over_rounds() {
+        let mut table = ThreadTable::new();
         let mut p = VmPolicy::paper_default();
+        let x = vcpu(&mut table);
+        let y = vcpu(&mut table);
         // Two vCPUs alternate; accumulated runtimes stay balanced.
         for round in 0..10 {
-            p.on_runnable(SimTime::ZERO, Tid(1), ThreadMeta::at(SimTime::ZERO));
-            p.on_runnable(SimTime::ZERO, Tid(2), ThreadMeta::at(SimTime::ZERO));
-            let a = p.pick_next(SimTime::ZERO).unwrap();
-            let b = p.pick_next(SimTime::ZERO).unwrap();
+            p.on_runnable(&mut table, SimTime::ZERO, x, ThreadMeta::at(SimTime::ZERO));
+            p.on_runnable(&mut table, SimTime::ZERO, y, ThreadMeta::at(SimTime::ZERO));
+            let a = p.pick_next(&mut table, SimTime::ZERO).unwrap();
+            let b = p.pick_next(&mut table, SimTime::ZERO).unwrap();
             assert_ne!(a, b, "round {round}");
-            p.account(a, SimTime::from_ms(7));
-            p.account(b, SimTime::from_ms(7));
+            p.account(&mut table, a, SimTime::from_ms(7));
+            p.account(&mut table, b, SimTime::from_ms(7));
         }
+    }
+
+    #[test]
+    fn exited_vcpu_account_is_noop() {
+        let mut table = ThreadTable::new();
+        let mut p = VmPolicy::paper_default();
+        let a = vcpu(&mut table);
+        table.remove(a);
+        p.account(&mut table, a, SimTime::from_ms(1));
+        p.on_runnable(&mut table, SimTime::ZERO, a, ThreadMeta::at(SimTime::ZERO));
+        assert_eq!(p.queue_depth(), 0, "stale vCPU must not enqueue");
     }
 }

@@ -8,6 +8,7 @@
 
 use wave_sim::SimTime;
 
+use crate::arena::ThreadTable;
 use crate::msg::Tid;
 
 /// Service-level-objective class of a request/thread (used by the
@@ -44,18 +45,24 @@ impl ThreadMeta {
 ///
 /// Implementations must be deterministic: the experiment harness relies
 /// on replayability.
+///
+/// Run queues are **intrusive**: they are linked through the
+/// [`ThreadTable`] arena rows ([`crate::arena::ThreadQueue`]), so every
+/// queue-touching method takes the table. The table is shared state the
+/// simulation owns; a policy may only link/unlink threads through its
+/// own queues and read the rows' scheduling fields.
 pub trait SchedPolicy {
     /// Human-readable policy name (for reports).
     fn name(&self) -> &'static str;
 
     /// A thread became runnable (created, woke, or was preempted).
-    fn on_runnable(&mut self, now: SimTime, tid: Tid, meta: ThreadMeta);
+    fn on_runnable(&mut self, threads: &mut ThreadTable, now: SimTime, tid: Tid, meta: ThreadMeta);
 
     /// A thread blocked or died; forget it.
-    fn on_removed(&mut self, now: SimTime, tid: Tid);
+    fn on_removed(&mut self, threads: &mut ThreadTable, now: SimTime, tid: Tid);
 
     /// Picks the next thread to run, removing it from the run queue.
-    fn pick_next(&mut self, now: SimTime) -> Option<Tid>;
+    fn pick_next(&mut self, threads: &mut ThreadTable, now: SimTime) -> Option<Tid>;
 
     /// Number of runnable-but-unscheduled threads.
     fn queue_depth(&self) -> usize;
@@ -85,8 +92,13 @@ pub trait SchedPolicy {
     /// queue — the class-aware steal entry point. Policies without
     /// per-class queues ignore the class and behave like
     /// [`SchedPolicy::pick_next`].
-    fn pick_class(&mut self, now: SimTime, _class: SloClass) -> Option<Tid> {
-        self.pick_next(now)
+    fn pick_class(
+        &mut self,
+        threads: &mut ThreadTable,
+        now: SimTime,
+        _class: SloClass,
+    ) -> Option<Tid> {
+        self.pick_next(threads, now)
     }
 
     /// The preemption time slice, or `None` for run-to-completion.
@@ -121,19 +133,24 @@ pub trait SchedPolicy {
 /// does depth pick the victim shard (lowest shard index on ties). For
 /// single-class policies this degenerates to exactly the old
 /// deepest-sibling rule.
+///
+/// `scratch` is a caller-owned buffer reused across siblings *and*
+/// calls — the steal path runs on every idle pump at load, so it must
+/// not allocate.
 pub fn steal_victim<'a>(
     policies: impl IntoIterator<Item = &'a dyn SchedPolicy>,
     thief: usize,
+    scratch: &mut Vec<(SloClass, usize)>,
 ) -> Option<(usize, SloClass)> {
     let mut best: Option<(usize, SloClass, usize)> = None;
-    let mut depths = Vec::new(); // one scratch buffer, reused per sibling
+    let depths = scratch;
     for (j, p) in policies.into_iter().enumerate() {
         if j == thief {
             continue;
         }
         depths.clear();
-        p.class_depths_into(&mut depths);
-        for &(class, depth) in &depths {
+        p.class_depths_into(depths);
+        for &(class, depth) in depths.iter() {
             if depth == 0 {
                 continue;
             }
@@ -153,6 +170,11 @@ pub fn steal_victim<'a>(
 mod tests {
     use super::*;
 
+    /// Admits a fresh 10 µs thread with the given SLO class.
+    fn admit(table: &mut ThreadTable, slo: SloClass) -> Tid {
+        table.insert(SimTime::from_us(10), SimTime::ZERO, slo)
+    }
+
     #[test]
     fn meta_default_slo() {
         let m = ThreadMeta::at(SimTime::from_us(5));
@@ -163,25 +185,29 @@ mod tests {
     #[test]
     fn steal_victim_single_class_is_deepest_sibling() {
         use crate::policies::FifoPolicy;
+        let mut table = ThreadTable::new();
+        let mut scratch = Vec::new();
         let mut a = FifoPolicy::new();
         let mut b = FifoPolicy::new();
-        for t in 0..3u64 {
-            a.on_runnable(SimTime::ZERO, Tid(t), ThreadMeta::at(SimTime::ZERO));
+        for _ in 0..3 {
+            let t = admit(&mut table, SloClass::DEFAULT);
+            a.on_runnable(&mut table, SimTime::ZERO, t, ThreadMeta::at(SimTime::ZERO));
         }
-        for t in 10..15u64 {
-            b.on_runnable(SimTime::ZERO, Tid(t), ThreadMeta::at(SimTime::ZERO));
+        for _ in 0..5 {
+            let t = admit(&mut table, SloClass::DEFAULT);
+            b.on_runnable(&mut table, SimTime::ZERO, t, ThreadMeta::at(SimTime::ZERO));
         }
         let empty = FifoPolicy::new();
         let views: Vec<&dyn SchedPolicy> = vec![&empty, &a, &b];
         // Thief 0: shard 2 is deepest; everything is the default class.
         assert_eq!(
-            steal_victim(views.iter().copied(), 0),
+            steal_victim(views.iter().copied(), 0, &mut scratch),
             Some((2, SloClass::DEFAULT))
         );
         // No sibling backlog at all: no victim.
         let e2 = FifoPolicy::new();
         let views: Vec<&dyn SchedPolicy> = vec![&empty, &e2];
-        assert_eq!(steal_victim(views.iter().copied(), 0), None);
+        assert_eq!(steal_victim(views.iter().copied(), 0, &mut scratch), None);
     }
 
     #[test]
@@ -191,26 +217,24 @@ mod tests {
         // victim 2 holds two *latency*-class (class 0) threads. The old
         // deepest-raw-queue rule would pick shard 1 forever; the
         // class-aware rule must serve the latency backlog first.
+        let mut table = ThreadTable::new();
+        let mut scratch = Vec::new();
         let mut flood = MultiQueueShinjuku::paper_default();
-        for t in 0..100u64 {
-            let meta = ThreadMeta {
-                arrival: SimTime::ZERO,
-                slo: SloClass(1),
-            };
-            flood.on_runnable(SimTime::ZERO, Tid(t), meta);
+        for _ in 0..100 {
+            let t = admit(&mut table, SloClass(1));
+            let meta = table.meta(t).unwrap();
+            flood.on_runnable(&mut table, SimTime::ZERO, t, meta);
         }
         let mut latency = MultiQueueShinjuku::paper_default();
-        for t in 200..202u64 {
-            let meta = ThreadMeta {
-                arrival: SimTime::ZERO,
-                slo: SloClass(0),
-            };
-            latency.on_runnable(SimTime::ZERO, Tid(t), meta);
+        for _ in 0..2 {
+            let t = admit(&mut table, SloClass(0));
+            let meta = table.meta(t).unwrap();
+            latency.on_runnable(&mut table, SimTime::ZERO, t, meta);
         }
         let thief = MultiQueueShinjuku::paper_default();
         let views: Vec<&dyn SchedPolicy> = vec![&thief, &flood, &latency];
         assert_eq!(
-            steal_victim(views.iter().copied(), 0),
+            steal_victim(views.iter().copied(), 0, &mut scratch),
             Some((2, SloClass(0)))
         );
         // Within one class, depth still picks the shard: once the
@@ -218,7 +242,7 @@ mod tests {
         let drained = MultiQueueShinjuku::paper_default();
         let views: Vec<&dyn SchedPolicy> = vec![&thief, &flood, &drained];
         assert_eq!(
-            steal_victim(views.iter().copied(), 0),
+            steal_victim(views.iter().copied(), 0, &mut scratch),
             Some((1, SloClass(1)))
         );
     }

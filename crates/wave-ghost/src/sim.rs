@@ -41,8 +41,6 @@
 
 use std::collections::BTreeMap;
 
-use rustc_hash::FxHashMap;
-
 use rand::rngs::SmallRng;
 use wave_core::runtime::{
     shard_range, AgentRuntime, ResourcePolicy, RuntimeConfig, SlotId, StageCost,
@@ -58,6 +56,7 @@ use wave_sim::dist::Exp;
 use wave_sim::stats::{Histogram, Summary};
 use wave_sim::{Sim, SimTime};
 
+use crate::arena::{ThreadRun, ThreadTable};
 use crate::cost::CostModel;
 use crate::msg::{CpuId, SchedMsg, SchedMsgKind, Tid};
 use crate::policy::{steal_victim, SchedPolicy, SloClass, ThreadMeta};
@@ -350,21 +349,6 @@ pub struct Diag {
     pub outstanding_at_end: u64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum ThreadRun {
-    Runnable,
-    Running(CpuId),
-    Finished,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct ThreadState {
-    remaining: SimTime,
-    arrival: SimTime,
-    slo: SloClass,
-    run: ThreadRun,
-}
-
 /// Worker-core state machine, as the *host kernel* sees it.
 ///
 /// `Idle { waiting: true }` means the core parked with nothing to run
@@ -391,6 +375,8 @@ struct Shard {
 /// into the [`ResourcePolicy`] the runtime stages decisions through.
 struct PickProducer<'a> {
     policy: &'a mut dyn SchedPolicy,
+    /// The arena the policy's intrusive queues are linked through.
+    threads: &'a mut ThreadTable,
     gen: &'a GenerationTable,
     next_txn: &'a mut u64,
     /// `Some` restricts the pick to one SLO class (class-aware steal).
@@ -402,8 +388,8 @@ impl ResourcePolicy for PickProducer<'_> {
 
     fn produce(&mut self, now: SimTime, _slot: SlotId) -> Option<SlotDecision> {
         let tid = match self.class {
-            Some(c) => self.policy.pick_class(now, c)?,
-            None => self.policy.pick_next(now)?,
+            Some(c) => self.policy.pick_class(self.threads, now, c)?,
+            None => self.policy.pick_next(self.threads, now)?,
         };
         // Thread vanished between message and pick; drop it.
         let target = self.gen.snapshot(tid.0)?;
@@ -454,13 +440,18 @@ pub struct SchedSim {
     /// a bucket probe instead of re-summing the weights.
     wakeup_route: Option<(Vec<u64>, u64)>,
     gen: GenerationTable,
-    /// Fx-hashed: tids are trusted simulation-minted integers and this
-    /// map is probed on every message the agent pumps.
-    threads: FxHashMap<u64, ThreadState>,
+    /// The thread arena: dense generational slab, probed on every
+    /// message the agent pumps and on every commit/preempt/complete.
+    /// The policies' run queues are intrusive lists through its rows.
+    threads: ThreadTable,
     cores: Vec<CoreState>,
     rng: SmallRng,
     inter_arrival: Exp,
-    next_tid: u64,
+    /// Sequential admission counter. *Not* the thread id (ids are
+    /// generation-packed arena handles): this drives the round-robin /
+    /// weighted wakeup routing, so routing stays bit-identical to the
+    /// old sequential-tid scheme.
+    next_seq: u64,
     next_txn: u64,
     run_token: u64,
     outstanding: usize,
@@ -479,6 +470,12 @@ pub struct SchedSim {
     /// Reused wakeup buffer for the per-pump IRQ kicks — same
     /// rationale as `prestage_scratch`.
     kicked_scratch: Vec<(CpuId, SimTime)>,
+    /// Reused message buffer the pump drains the queue into.
+    msg_scratch: Vec<SchedMsg>,
+    /// Reused per-class depth buffer for the steal victim scan.
+    class_scratch: Vec<(SloClass, usize)>,
+    /// Reused move buffer for the rebalance epoch.
+    moves_scratch: Vec<ResourceMove>,
 }
 
 type S = Sim<SchedSim>;
@@ -601,10 +598,10 @@ impl SchedSim {
             rebalancer,
             wakeup_route,
             gen: GenerationTable::new(),
-            threads: FxHashMap::default(),
+            threads: ThreadTable::with_capacity(1024),
             rng,
             inter_arrival,
-            next_tid: 0,
+            next_seq: 0,
             next_txn: 0,
             run_token: 0,
             outstanding: 0,
@@ -618,6 +615,9 @@ impl SchedSim {
             stack_busy: vec![SimTime::ZERO; cfg.ingress.map_or(0, |i| i.stack_cores as usize)],
             prestage_scratch: Vec::with_capacity(cfg.workers as usize),
             kicked_scratch: Vec::with_capacity(cfg.workers as usize),
+            msg_scratch: Vec::with_capacity(64),
+            class_scratch: Vec::new(),
+            moves_scratch: Vec::new(),
             cfg,
         }
     }
@@ -746,35 +746,33 @@ impl SchedSim {
         service: SimTime,
         slo: SloClass,
     ) {
-        let tid = Tid(self.next_tid);
-        self.next_tid += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.outstanding += 1;
-        self.gen.insert(tid.0);
         let io = self
             .cfg
             .ingress
             .map_or(SimTime::ZERO, |i| i.worker_receive + i.worker_respond);
-        self.threads.insert(
-            tid.0,
-            ThreadState {
-                remaining: service + SimTime::from_ns(self.cfg.cost.app_overhead_ns) + io,
-                arrival: wire_arrival,
-                slo,
-                run: ThreadRun::Runnable,
-            },
+        let tid = self.threads.insert(
+            service + SimTime::from_ns(self.cfg.cost.app_overhead_ns) + io,
+            wire_arrival,
+            slo,
         );
+        self.gen.insert(tid.0);
         // New threads are not yet bound to a core: route the wakeup
         // round-robin across the agent shards (or by the experiment's
-        // skew weights). The load generator core sends the message (its
-        // CPU time is not charged against worker throughput, matching
-        // the paper's setup where the generator has its own resources).
-        let si = self.route_wakeup(tid);
+        // skew weights). Routing keys off the sequential admission
+        // counter, not the packed tid, so slot reuse cannot perturb it.
+        // The load generator core sends the message (its CPU time is
+        // not charged against worker throughput, matching the paper's
+        // setup where the generator has its own resources).
+        let si = self.route_wakeup(seq);
         let msg = SchedMsg::new(tid, SchedMsgKind::Wakeup, None);
         let (mut cost, delivered) = self.shards[si].rt.host_send(now, &mut self.ic, msg);
         if !delivered {
             // Message queue overload: drop the request.
             self.gen.remove(tid.0);
-            self.threads.remove(&tid.0);
+            self.threads.remove(tid);
             self.outstanding -= 1;
             self.dropped += 1;
             return;
@@ -786,12 +784,13 @@ impl SchedSim {
 
     /// Which shard a new-thread wakeup goes to: deterministic weighted
     /// round-robin over [`SchedConfig::wakeup_weights`], or plain
-    /// `tid % agents` without weights.
-    fn route_wakeup(&self, tid: Tid) -> usize {
+    /// `seq % agents` without weights (`seq` is the sequential
+    /// admission index, matching the pre-arena sequential tids).
+    fn route_wakeup(&self, seq: u64) -> usize {
         match &self.wakeup_route {
-            None => (tid.0 % self.shards.len() as u64) as usize,
+            None => (seq % self.shards.len() as u64) as usize,
             Some((cum, total)) => {
-                let pos = tid.0 % total;
+                let pos = seq % total;
                 cum.partition_point(|&c| c <= pos)
             }
         }
@@ -817,15 +816,20 @@ impl SchedSim {
         }
         self.diag.pumps += 1;
         let now = sim.now().max(self.shards[si].rt.busy_until());
-        let polled = self.shards[si].rt.poll(now, &mut self.ic, 64);
-        let mut nic_cost = polled.cpu;
+        // Drain into the reused message scratch (taken out for the loop
+        // so `self` stays borrowable inside).
+        let mut msgs = std::mem::take(&mut self.msg_scratch);
+        msgs.clear();
+        let mut nic_cost = self.shards[si]
+            .rt
+            .poll_into(now, &mut self.ic, 64, &mut msgs);
         let policy_ratio = self
             .cfg
             .cpu
             .ratio(self.agent_core, WorkloadClass::ComputeBound);
         // Policy bookkeeping words per handled event (run-queue nodes
         // etc.) pay the SoC mapping cost.
-        for msg in &polled.items {
+        for &msg in &msgs {
             // Message handling touches a few run-queue words and does a
             // cheap enqueue/remove; the full policy pick cost is paid at
             // staging time in `stage_pick`.
@@ -834,18 +838,21 @@ impl SchedSim {
                 .policy
                 .compute_cost()
                 .scale(policy_ratio * 0.5);
-            let meta = self
-                .threads
-                .get(&msg.tid.0)
-                .map(|t| ThreadMeta {
-                    arrival: t.arrival,
-                    slo: t.slo,
-                })
-                .unwrap_or_else(|| ThreadMeta::at(now));
             if msg.makes_runnable() {
-                self.shards[si].policy.on_runnable(now, msg.tid, meta);
+                // A runnable message always refers to a live thread (a
+                // thread cannot die before its wakeup is consumed); a
+                // stale id could not be enqueued anyway — the arena
+                // rejects it, exactly as a queued-then-dead pick would
+                // fail its generation snapshot.
+                if let Some(meta) = self.threads.meta(msg.tid) {
+                    self.shards[si]
+                        .policy
+                        .on_runnable(&mut self.threads, now, msg.tid, meta);
+                }
             } else if msg.removes_thread() {
-                self.shards[si].policy.on_removed(now, msg.tid);
+                self.shards[si]
+                    .policy
+                    .on_removed(&mut self.threads, now, msg.tid);
             }
             if let Some(cpu) = msg.cpu {
                 if msg.removes_thread() || matches!(msg.kind, SchedMsgKind::Yield) {
@@ -858,6 +865,7 @@ impl SchedSim {
                 }
             }
         }
+        self.msg_scratch = msgs;
 
         // Serve idle, waiting cores first: stage + MSI-X. The owned-core
         // cache is taken out for the duration of the pump (nothing below
@@ -924,6 +932,7 @@ impl SchedSim {
             let shard = &mut self.shards[si];
             let mut producer = PickProducer {
                 policy: shard.policy.as_mut(),
+                threads: &mut self.threads,
                 gen: &self.gen,
                 next_txn: &mut self.next_txn,
                 class: None,
@@ -972,6 +981,7 @@ impl SchedSim {
         let shard = &mut self.shards[si];
         let mut producer = PickProducer {
             policy: shard.policy.as_mut(),
+            threads: &mut self.threads,
             gen: &self.gen,
             next_txn: &mut self.next_txn,
             class: None,
@@ -994,7 +1004,7 @@ impl SchedSim {
             return false;
         }
         let policies = self.shards.iter().map(|sh| sh.policy.as_ref());
-        let Some((vi, class)) = steal_victim(policies, si) else {
+        let Some((vi, class)) = steal_victim(policies, si, &mut self.class_scratch) else {
             return false;
         };
         let stage_cost = self.stage_cost();
@@ -1008,6 +1018,7 @@ impl SchedSim {
         };
         let mut producer = PickProducer {
             policy: victim_policy.as_mut(),
+            threads: &mut self.threads,
             gen: &self.gen,
             next_txn: &mut self.next_txn,
             class: Some(class),
@@ -1030,22 +1041,28 @@ impl SchedSim {
     /// on the configured epoch.
     fn rebalance_epoch(&mut self, sim: &mut S) {
         let now = sim.now();
-        let (moves, epoch) = {
+        // The committed moves land in a reused scratch buffer (the
+        // rebalancer's own history keeps the canonical copy).
+        let mut moves = std::mem::take(&mut self.moves_scratch);
+        moves.clear();
+        let epoch = {
             let Some(rb) = self.rebalancer.as_mut() else {
+                self.moves_scratch = moves;
                 return;
             };
             for (i, sh) in self.shards.iter_mut().enumerate() {
                 rb.record(i as u32, sh.rt.take_load());
             }
-            let moves = rb.run_epoch(now, &mut self.map).moves.clone();
-            (moves, rb.config().epoch)
+            rb.run_epoch_into(now, &mut self.map, &mut moves);
+            rb.config().epoch
         };
         if !moves.is_empty() {
             self.rebuild_owned_cores();
-            for m in moves {
+            for &m in &moves {
                 self.apply_core_move(sim, now, m);
             }
         }
+        self.moves_scratch = moves;
         sim.schedule(now + epoch, |m: &mut SchedSim, s| m.rebalance_epoch(s));
     }
 
@@ -1072,15 +1089,19 @@ impl SchedSim {
             // still runnable it re-enters the recipient's run queue;
             // the old txn snapshot is discarded (the recipient
             // revalidates at its own stage time).
-            if let Some(t) = self.threads.get(&d.tid.0) {
-                if t.run == ThreadRun::Runnable {
-                    self.diag.rebalance_handoffs += 1;
-                    let meta = ThreadMeta {
-                        arrival: t.arrival,
-                        slo: t.slo,
-                    };
-                    self.shards[to].policy.on_runnable(now, d.tid, meta);
-                }
+            let runnable_meta = self
+                .threads
+                .get(d.tid)
+                .filter(|t| t.run == ThreadRun::Runnable)
+                .map(|t| ThreadMeta {
+                    arrival: t.arrival,
+                    slo: t.slo,
+                });
+            if let Some(meta) = runnable_meta {
+                self.diag.rebalance_handoffs += 1;
+                self.shards[to]
+                    .policy
+                    .on_runnable(&mut self.threads, now, d.tid, meta);
             }
         }
         if matches!(self.cores[m.resource], CoreState::Idle { waiting: true }) {
@@ -1130,7 +1151,7 @@ impl SchedSim {
         let outcome = self.gen.validate(d.target);
         if !outcome.is_committed()
             || !matches!(
-                self.threads.get(&d.tid.0).map(|t| t.run),
+                self.threads.get(d.tid).map(|t| t.run),
                 Some(ThreadRun::Runnable)
             )
         {
@@ -1145,7 +1166,7 @@ impl SchedSim {
         self.run_token += 1;
         let token = self.run_token;
         self.cores[cpu.0 as usize] = CoreState::Busy { tid: d.tid, token };
-        if let Some(t) = self.threads.get_mut(&d.tid.0) {
+        if let Some(t) = self.threads.get_mut(d.tid) {
             t.run = ThreadRun::Running(cpu);
         }
         self.begin_segment(sim, cpu, d.tid, token, at + cost);
@@ -1154,7 +1175,7 @@ impl SchedSim {
     /// Starts a run segment for `tid` on `cpu` at `start`, scheduling
     /// either completion or an agent-side preemption check.
     fn begin_segment(&mut self, sim: &mut S, cpu: CpuId, tid: Tid, token: u64, start: SimTime) {
-        let remaining = self.threads[&tid.0].remaining;
+        let remaining = self.threads[tid].remaining;
         let slice = self.shards[self.shard_of(cpu)].policy.time_slice();
         match slice {
             Some(slice) if remaining > slice => {
@@ -1246,7 +1267,7 @@ impl SchedSim {
         let slot = self.local_slot(cpu);
         // The kernel charges the preempted thread for its runtime.
         let ran = now.saturating_sub(seg_start);
-        let rem = self.threads[&tid.0].remaining.saturating_sub(ran);
+        let rem = self.threads[tid].remaining.saturating_sub(ran);
         let mut cost = SimTime::ZERO;
         // Read the staged replacement: flush + fresh read (no prefetch
         // benefit on this path, §7.2.2).
@@ -1261,7 +1282,7 @@ impl SchedSim {
         cost += c;
         let Some(d) = got else {
             // Replacement vanished: keep running the current thread.
-            if let Some(t) = self.threads.get_mut(&tid.0) {
+            if let Some(t) = self.threads.get_mut(tid) {
                 t.remaining = rem;
             }
             self.begin_segment(sim, cpu, tid, token, now + cost);
@@ -1275,7 +1296,7 @@ impl SchedSim {
                 self.schedule_agent_pump(sim, si, now + cost + self.ic.one_way());
                 return;
             }
-            if let Some(t) = self.threads.get_mut(&tid.0) {
+            if let Some(t) = self.threads.get_mut(tid) {
                 t.remaining = rem;
             }
             self.begin_segment(sim, cpu, tid, token, now + cost);
@@ -1287,7 +1308,7 @@ impl SchedSim {
             // as completion, then run the replacement.
             self.finish_thread(sim, tid, now);
         } else {
-            if let Some(t) = self.threads.get_mut(&tid.0) {
+            if let Some(t) = self.threads.get_mut(tid) {
                 t.remaining = rem;
                 t.run = ThreadRun::Runnable;
             }
@@ -1307,14 +1328,14 @@ impl SchedSim {
     }
 
     fn finish_thread(&mut self, _sim: &mut S, tid: Tid, now: SimTime) {
-        let Some(t) = self.threads.get_mut(&tid.0) else {
+        let Some(t) = self.threads.get_mut(tid) else {
             return;
         };
         t.run = ThreadRun::Finished;
         let arrival = t.arrival;
         let slo = t.slo;
         self.gen.remove(tid.0);
-        self.threads.remove(&tid.0);
+        self.threads.remove(tid);
         self.outstanding -= 1;
         if arrival >= self.cfg.warmup && now <= self.cfg.duration {
             self.lat.record_time(now - arrival);

@@ -1,11 +1,29 @@
-//! Measures the engine-throughput workloads and writes BENCH_engine.json.
+//! Measures the engine-throughput workloads and maintains BENCH_engine.json.
 //!
-//! Run with: `cargo run --release -p wave-lab --example engine_bench [--quick]`
+//! * `cargo run --release -p wave-lab --example engine_bench` — full
+//!   paper-mode measurement: refreshes the workload rows *and* the
+//!   `quick_reference` section (measured in the same run, so the two
+//!   budgets share a machine), and appends a dated history entry.
+//! * `-- --quick` — CI mode: quick-budget measurement gated against the
+//!   committed `quick_reference`. Exits nonzero if `sched_sim` falls
+//!   below 0.9× the committed quick rate; carries the committed
+//!   reference and history forward unchanged.
 
 use wave_lab::engine;
 
+/// The gated workload: the full-model scheduling sim is what wave-lab
+/// sweeps actually feel, and the arena/queue work lives on its hot path.
+const GATE_WORKLOAD: &str = "sched_sim";
+
+/// Regression floor for the quick gate: quick-vs-quick comparison, so
+/// machine class largely cancels; 0.9 absorbs CI runner noise.
+const GATE_FLOOR: f64 = 0.9;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let path = std::path::Path::new("BENCH_engine.json");
+    let committed = std::fs::read_to_string(path).unwrap_or_default();
+
     let cfg = if quick {
         engine::EngineBenchConfig::quick()
     } else {
@@ -13,7 +31,67 @@ fn main() {
     };
     let result = engine::run(&cfg);
     engine::report_from(&result).print();
-    let path = std::path::Path::new("BENCH_engine.json");
-    engine::write_bench_json(path, &result).expect("write BENCH_engine.json");
+
+    let mut history = engine::extract_history(&committed);
+    let quick_reference;
+    if quick {
+        quick_reference = engine::extract_quick_reference(&committed);
+        match engine::quick_reference_rate(&committed, GATE_WORKLOAD) {
+            Some(reference) => {
+                let measured = result.events_per_sec(GATE_WORKLOAD).unwrap_or(0.0);
+                let ratio = measured / reference;
+                println!(
+                    "quick gate: {GATE_WORKLOAD} {measured:.1} ev/s vs committed \
+                     quick reference {reference:.1} ({ratio:.3}x, floor {GATE_FLOOR})"
+                );
+                if ratio < GATE_FLOOR {
+                    eprintln!(
+                        "engine bench regression: {GATE_WORKLOAD} fell below \
+                         {GATE_FLOOR}x the committed quick reference"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            None => println!("quick gate: no committed quick reference; skipping"),
+        }
+    } else {
+        // Paper mode also measures the quick budgets so CI has a
+        // same-machine reference to gate against.
+        let qr = engine::run(&engine::EngineBenchConfig::quick());
+        quick_reference = qr
+            .rows
+            .iter()
+            .map(|r| (r.workload.to_string(), r.events_per_sec))
+            .collect();
+        history.push(engine::history_entry(&today_utc(), &result));
+    }
+
+    let artifact = engine::BenchArtifact {
+        mode: if quick { "quick" } else { "paper" }.to_string(),
+        result,
+        quick_reference,
+        history,
+    };
+    engine::write_bench_json(path, &artifact).expect("write BENCH_engine.json");
     println!("wrote {}", path.display());
+}
+
+/// Today's UTC date (`YYYY-MM-DD`) from the system clock —
+/// civil-from-days (Howard Hinnant's algorithm), so no date crate is
+/// needed.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock before epoch")
+        .as_secs();
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
 }

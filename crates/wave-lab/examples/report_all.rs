@@ -27,8 +27,17 @@ fn main() {
     rebalance::report(&rebalance::RebalanceSweepConfig::quick()).print();
     let bench = engine::run(&engine::EngineBenchConfig::quick());
     engine::report_from(&bench).print();
+    // Carry the committed quick_reference and history forward; this
+    // quick pass refreshes only the workload rows.
     let path = std::path::Path::new("BENCH_engine.json");
-    engine::write_bench_json(path, &bench).expect("write BENCH_engine.json");
+    let committed = std::fs::read_to_string(path).unwrap_or_default();
+    let artifact = engine::BenchArtifact {
+        mode: "quick".to_string(),
+        quick_reference: engine::extract_quick_reference(&committed),
+        history: engine::extract_history(&committed),
+        result: bench,
+    };
+    engine::write_bench_json(path, &artifact).expect("write BENCH_engine.json");
     println!("wrote {}", path.display());
     println!("\nall experiments regenerated in {:.1?}", t0.elapsed());
 }

@@ -132,13 +132,39 @@ impl EngineBenchResult {
             .find(|r| r.workload == workload)
             .map(|r| r.events_per_sec)
     }
+}
 
-    /// Renders the measurement as `BENCH_engine.json` (hand-rolled JSON:
+/// The artifact schema `BENCH_engine.json` is written under.
+pub const SCHEMA: &str = "wave-engine-bench/v2";
+
+/// The persisted `BENCH_engine.json` artifact: the freshly measured
+/// rows plus the cross-run context carried forward from the committed
+/// file — quick-mode reference rates (the CI regression gate compares
+/// quick-vs-quick, so machine class largely cancels) and the dated
+/// per-PR history.
+#[derive(Debug, Clone)]
+pub struct BenchArtifact {
+    /// Which budget produced [`Self::result`]: `"paper"` or `"quick"`.
+    pub mode: String,
+    /// The measured rows.
+    pub result: EngineBenchResult,
+    /// Quick-mode events/sec recorded on the same machine (and in the
+    /// same run) as the committed paper rows.
+    pub quick_reference: Vec<(String, f64)>,
+    /// Raw history entries (one JSON object per element), oldest first.
+    /// Preserved verbatim across regenerations so the artifact keeps its
+    /// own PR-over-PR record.
+    pub history: Vec<String>,
+}
+
+impl BenchArtifact {
+    /// Renders the artifact as `BENCH_engine.json` (hand-rolled JSON:
     /// the vendored serde stub has no JSON serializer, and the schema is
-    /// four flat rows).
+    /// flat).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"wave-engine-bench/v1\",\n");
+        let mut out = format!("{{\n  \"schema\": \"{SCHEMA}\",\n");
         out.push_str("  \"unit\": \"sim-events per wall-clock second\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         out.push_str("  \"pre_refactor_baseline\": {\n");
         for (i, (w, v)) in PRE_REFACTOR_BASELINE.iter().enumerate() {
             let sep = if i + 1 == PRE_REFACTOR_BASELINE.len() {
@@ -148,9 +174,22 @@ impl EngineBenchResult {
             };
             out.push_str(&format!("    \"{w}\": {v:.1}{sep}\n"));
         }
+        out.push_str("  },\n  \"quick_reference\": {\n");
+        for (i, (w, v)) in self.quick_reference.iter().enumerate() {
+            let sep = if i + 1 == self.quick_reference.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!("    \"{w}\": {v:.1}{sep}\n"));
+        }
         out.push_str("  },\n  \"workloads\": [\n");
-        for (i, r) in self.rows.iter().enumerate() {
-            let sep = if i + 1 == self.rows.len() { "" } else { "," };
+        for (i, r) in self.result.rows.iter().enumerate() {
+            let sep = if i + 1 == self.result.rows.len() {
+                ""
+            } else {
+                ","
+            };
             let speedup = baseline(r.workload)
                 .map(|b| format!(", \"speedup_vs_baseline\": {:.3}", r.events_per_sec / b))
                 .unwrap_or_default();
@@ -160,9 +199,74 @@ impl EngineBenchResult {
                 r.workload, r.events, r.wall_ns, r.events_per_sec, speedup, sep
             ));
         }
+        out.push_str("  ],\n  \"history\": [\n");
+        for (i, h) in self.history.iter().enumerate() {
+            let sep = if i + 1 == self.history.len() { "" } else { "," };
+            out.push_str(&format!("    {h}{sep}\n"));
+        }
         out.push_str("  ]\n}\n");
         out
     }
+}
+
+/// Extracts the `"quick_reference"` rates from a committed artifact by
+/// raw-line scanning (no JSON parser in the tree). Empty for v1 files.
+pub fn extract_quick_reference(json: &str) -> Vec<(String, f64)> {
+    let Some(start) = json.find("\"quick_reference\": {") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in json[start..].lines().skip(1) {
+        let line = line.trim();
+        if line.starts_with('}') {
+            break;
+        }
+        let Some((name, rest)) = line.split_once(':') else {
+            continue;
+        };
+        if let Ok(v) = rest.trim().trim_end_matches(',').parse::<f64>() {
+            out.push((name.trim().trim_matches('"').to_string(), v));
+        }
+    }
+    out
+}
+
+/// The committed quick-reference rate for one workload, if recorded.
+pub fn quick_reference_rate(json: &str, workload: &str) -> Option<f64> {
+    extract_quick_reference(json)
+        .into_iter()
+        .find(|(w, _)| w == workload)
+        .map(|(_, v)| v)
+}
+
+/// Extracts the raw `"history"` entries from a committed artifact,
+/// oldest first, so a regeneration appends rather than rewrites. Empty
+/// for v1 files.
+pub fn extract_history(json: &str) -> Vec<String> {
+    let Some(start) = json.find("\"history\": [") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in json[start..].lines().skip(1) {
+        let line = line.trim();
+        if line.starts_with(']') {
+            break;
+        }
+        if !line.is_empty() {
+            out.push(line.trim_end_matches(',').to_string());
+        }
+    }
+    out
+}
+
+/// Formats one dated history entry from a paper-mode measurement.
+pub fn history_entry(date: &str, result: &EngineBenchResult) -> String {
+    let mut s = format!("{{\"date\": \"{date}\"");
+    for r in &result.rows {
+        s.push_str(&format!(", \"{}\": {:.1}", r.workload, r.events_per_sec));
+    }
+    s.push('}');
+    s
 }
 
 /// Model for the pure-engine workloads: each event re-arms itself until
@@ -353,10 +457,10 @@ pub fn run(cfg: &EngineBenchConfig) -> EngineBenchResult {
     }
 }
 
-/// Writes `json` to `path` (conventionally `BENCH_engine.json` in the
-/// repo root, so the artifact diffs PR-over-PR).
-pub fn write_bench_json(path: &std::path::Path, result: &EngineBenchResult) -> std::io::Result<()> {
-    std::fs::write(path, result.to_json())
+/// Writes the artifact to `path` (conventionally `BENCH_engine.json`
+/// in the repo root, so the artifact diffs PR-over-PR).
+pub fn write_bench_json(path: &std::path::Path, artifact: &BenchArtifact) -> std::io::Result<()> {
+    std::fs::write(path, artifact.to_json())
 }
 
 /// Builds the engine-throughput report: the "paper" column is the
@@ -422,19 +526,36 @@ mod tests {
         }
     }
 
+    fn sample_artifact() -> BenchArtifact {
+        BenchArtifact {
+            mode: "paper".to_string(),
+            result: EngineBenchResult {
+                rows: vec![EngineRow {
+                    workload: "pure_engine",
+                    events: 10,
+                    wall_ns: 100,
+                    events_per_sec: 1e8,
+                }],
+            },
+            quick_reference: vec![
+                ("pure_engine".to_string(), 5e7),
+                ("sched_sim".to_string(), 2e5),
+            ],
+            history: vec![
+                "{\"date\": \"2026-08-01\", \"pure_engine\": 9.5e7}".to_string(),
+                "{\"date\": \"2026-08-08\", \"pure_engine\": 1e8}".to_string(),
+            ],
+        }
+    }
+
     #[test]
     fn json_is_well_formed_enough() {
-        let result = EngineBenchResult {
-            rows: vec![EngineRow {
-                workload: "pure_engine",
-                events: 10,
-                wall_ns: 100,
-                events_per_sec: 1e8,
-            }],
-        };
-        let json = result.to_json();
-        assert!(json.contains("\"schema\": \"wave-engine-bench/v1\""));
+        let json = sample_artifact().to_json();
+        assert!(json.contains("\"schema\": \"wave-engine-bench/v2\""));
+        assert!(json.contains("\"mode\": \"paper\""));
         assert!(json.contains("\"pre_refactor_baseline\""));
+        assert!(json.contains("\"quick_reference\""));
+        assert!(json.contains("\"history\""));
         assert!(json.contains("\"pure_engine\""));
         assert!(json.contains("\"speedup_vs_baseline\""));
         assert_eq!(
@@ -442,6 +563,39 @@ mod tests {
             json.matches('}').count(),
             "balanced braces"
         );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "balanced brackets"
+        );
+    }
+
+    #[test]
+    fn quick_reference_and_history_round_trip() {
+        let artifact = sample_artifact();
+        let json = artifact.to_json();
+        assert_eq!(extract_quick_reference(&json), artifact.quick_reference);
+        assert_eq!(quick_reference_rate(&json, "sched_sim"), Some(2e5));
+        assert_eq!(quick_reference_rate(&json, "missing"), None);
+        assert_eq!(extract_history(&json), artifact.history);
+        // Regenerating with one appended entry preserves the old ones
+        // verbatim — the artifact is its own PR-over-PR record.
+        let mut next = artifact.clone();
+        next.history
+            .push(history_entry("2026-08-15", &artifact.result));
+        let json2 = next.to_json();
+        let hist = extract_history(&json2);
+        assert_eq!(hist.len(), 3);
+        assert_eq!(hist[..2], artifact.history[..]);
+        assert!(hist[2].contains("\"date\": \"2026-08-15\""));
+        assert!(hist[2].contains("\"pure_engine\": 100000000.0"));
+    }
+
+    #[test]
+    fn v1_artifacts_extract_as_empty() {
+        let v1 = "{\n  \"schema\": \"wave-engine-bench/v1\",\n  \"workloads\": []\n}\n";
+        assert!(extract_quick_reference(v1).is_empty());
+        assert!(extract_history(v1).is_empty());
     }
 
     #[test]

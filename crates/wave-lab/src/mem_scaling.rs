@@ -24,7 +24,6 @@ use wave_memmgr::{sharded_iteration_cost, RunnerConfig, ShardedSolRunner, SolCon
 use wave_sim::cpu::{CoreClass, CpuModel};
 use wave_sim::SimTime;
 
-use crate::par::par_map;
 use crate::report::{PaperRow, Report};
 
 /// Sweep configuration.
@@ -150,15 +149,20 @@ pub fn run_point(cfg: &MemScalingConfig, shards: u32, scale: f64) -> MemScalingP
     }
 }
 
-/// Runs the whole grid, cells in parallel across OS threads (each cell
+/// Runs the whole grid through the [`sweep`](crate::par::sweep)
+/// launcher, cells in parallel across OS threads (each cell
 /// additionally fans its shards out on threads of its own).
 pub fn run(cfg: &MemScalingConfig) -> MemScalingResult {
-    let grid: Vec<(u32, f64)> = cfg
+    let grid: Vec<(String, (u32, f64))> = cfg
         .scales
         .iter()
-        .flat_map(|&s| cfg.shard_counts.iter().map(move |&k| (k, s)))
+        .flat_map(|&s| {
+            cfg.shard_counts
+                .iter()
+                .map(move |&k| (format!("shards={k} scale={s}"), (k, s)))
+        })
         .collect();
-    let points = par_map(&grid, |&(k, s)| run_point(cfg, k, s));
+    let points = crate::par::sweep("mem-scaling", grid, |&(k, s)| run_point(cfg, k, s)).results();
     MemScalingResult { points }
 }
 

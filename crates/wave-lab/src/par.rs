@@ -1,4 +1,4 @@
-//! Thread fan-out for independent simulation points.
+//! Multi-simulation launcher for the experiment harness.
 //!
 //! Every load point of a latency-throughput curve (and every cell of the
 //! agent-scaling grids) is an independent, deterministic simulation, so
@@ -6,9 +6,124 @@
 //! unaffected: each point owns its RNG (seeded from its config) and the
 //! results are returned in input order.
 //!
-//! The implementation lives in [`wave_sim::par`] so that sharded agents
-//! (e.g. `wave_memmgr::ShardedSolRunner`) can reuse the same fan-out
-//! without depending on the lab crate; this module re-exports it for the
-//! experiment harness's historical call sites.
+//! The raw fan-out primitives live in [`wave_sim::par`] so that sharded
+//! agents (e.g. `wave_memmgr::ShardedSolRunner`) can reuse them without
+//! depending on the lab crate; this module re-exports them and layers
+//! the experiment-facing [`sweep`] launcher on top: named jobs, per-job
+//! wall-clock attribution, and a [`SweepRun`] report the scaling,
+//! rebalance and memory harnesses all share. Timing lives in the
+//! launcher report only — it never leaks into the pinned experiment
+//! `Report`s, which must stay bit-identical across machines.
 
-pub use wave_sim::par::{par_map, par_map_mut};
+use std::time::{Duration, Instant};
+
+pub use wave_sim::par::{par_map, par_map_mut, par_map_timed};
+
+/// One completed sweep job: its name, how long it ran, and its result.
+#[derive(Debug, Clone)]
+pub struct JobReport<R> {
+    /// Human-readable job name (e.g. `"agents=4 workers=16"`).
+    pub name: String,
+    /// Wall-clock time of this job's closure on its pool worker.
+    pub wall: Duration,
+    /// The job's deterministic result.
+    pub result: R,
+}
+
+/// A completed [`sweep`]: the label, every job in input order, and the
+/// end-to-end wall time of the whole fan-out.
+#[derive(Debug, Clone)]
+pub struct SweepRun<R> {
+    /// Sweep label (e.g. `"agent-scaling"`), for harness logs.
+    pub label: String,
+    /// Per-job reports, in input order.
+    pub jobs: Vec<JobReport<R>>,
+    /// Wall-clock time of the whole sweep, queue wait included.
+    pub wall: Duration,
+}
+
+impl<R> SweepRun<R> {
+    /// The job results in input order, timing stripped.
+    pub fn results(self) -> Vec<R> {
+        self.jobs.into_iter().map(|j| j.result).collect()
+    }
+
+    /// The longest-running job, if any — the cell that bounds the
+    /// sweep's critical path.
+    pub fn slowest(&self) -> Option<&JobReport<R>> {
+        self.jobs.iter().max_by_key(|j| j.wall)
+    }
+
+    /// Sum of per-job durations — the sweep's total CPU-side work,
+    /// as opposed to its pooled wall time.
+    pub fn total_job_time(&self) -> Duration {
+        self.jobs.iter().map(|j| j.wall).sum()
+    }
+}
+
+/// Runs every named job on the bounded worker pool and reports each
+/// job's result and duration.
+///
+/// This is the shared entry point of the scaling, rebalance and memory
+/// harnesses: they build a `(name, input)` grid, and the launcher owns
+/// the fan-out, ordering, and timing attribution. Results come back in
+/// input order regardless of scheduling.
+pub fn sweep<T, R, F>(label: &str, jobs: Vec<(String, T)>, f: F) -> SweepRun<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let start = Instant::now();
+    let (names, inputs): (Vec<String>, Vec<T>) = jobs.into_iter().unzip();
+    let timed = par_map_timed(&inputs, f);
+    let jobs = names
+        .into_iter()
+        .zip(timed)
+        .map(|(name, (result, wall))| JobReport { name, wall, result })
+        .collect();
+    SweepRun {
+        label: label.to_string(),
+        jobs,
+        wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_input_order_and_names() {
+        let jobs: Vec<(String, u64)> = (0..24).map(|i| (format!("cell-{i}"), i)).collect();
+        let run = sweep("square", jobs, |&x| x * x);
+        assert_eq!(run.label, "square");
+        assert_eq!(run.jobs.len(), 24);
+        for (i, j) in run.jobs.iter().enumerate() {
+            assert_eq!(j.name, format!("cell-{i}"));
+            assert_eq!(j.result, (i as u64) * (i as u64));
+        }
+        assert_eq!(run.results(), (0..24).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_empty_grid() {
+        let run: SweepRun<u64> = sweep("empty", Vec::<(String, u64)>::new(), |&x| x);
+        assert!(run.jobs.is_empty());
+        assert!(run.slowest().is_none());
+        assert_eq!(run.total_job_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn sweep_timing_accounting() {
+        let jobs: Vec<(String, u64)> = (0..8).map(|i| (format!("j{i}"), i)).collect();
+        let run = sweep("busy", jobs, |&x| {
+            (0..50_000u64).fold(x, |a, b| a.wrapping_add(b))
+        });
+        let slowest = run.slowest().expect("non-empty sweep has a slowest job");
+        assert!(run.jobs.iter().all(|j| j.wall <= slowest.wall));
+        // Pooled wall time can't exceed serial job time by more than
+        // scheduling noise, and total job time covers every job.
+        assert!(run.total_job_time() >= slowest.wall);
+    }
+}

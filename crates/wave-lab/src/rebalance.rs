@@ -36,7 +36,6 @@ use wave_memmgr::{RunnerConfig, ShardedSolRunner, SolConfig};
 use wave_sim::cpu::{CoreClass, CpuModel};
 use wave_sim::SimTime;
 
-use crate::par::par_map;
 use crate::report::{PaperRow, Report};
 
 /// Sweep configuration.
@@ -227,21 +226,23 @@ pub fn run_mem(cfg: &RebalanceSweepConfig, dynamic: bool) -> MemRebalancePoint {
     }
 }
 
-/// Runs all four cells, in parallel across OS threads.
+/// Runs all four cells through the [`sweep`](crate::par::sweep)
+/// launcher, in parallel across OS threads.
 pub fn run(cfg: &RebalanceSweepConfig) -> RebalanceResult {
-    let cells: Vec<(bool, bool)> = vec![
-        (false, false), // sched static
-        (false, true),  // sched dynamic
-        (true, false),  // mem static
-        (true, true),   // mem dynamic
+    let cells: Vec<(String, (bool, bool))> = vec![
+        ("sched static".to_string(), (false, false)),
+        ("sched dynamic".to_string(), (false, true)),
+        ("mem static".to_string(), (true, false)),
+        ("mem dynamic".to_string(), (true, true)),
     ];
-    let out = par_map(&cells, |&(mem, dynamic)| {
+    let out = crate::par::sweep("rebalance-ablation", cells, |&(mem, dynamic)| {
         if mem {
             (None, Some(run_mem(cfg, dynamic)))
         } else {
             (Some(run_sched(cfg, dynamic)), None)
         }
-    });
+    })
+    .results();
     // Select by each point's own labels, not by cell order.
     let sched = |want: bool| {
         out.iter()

@@ -15,7 +15,6 @@ use wave_ghost::policies::FifoPolicy;
 use wave_ghost::sim::{Placement, SchedConfig, SchedSim};
 use wave_sim::SimTime;
 
-use crate::par::par_map;
 use crate::report::{PaperRow, Report};
 
 /// Sweep configuration.
@@ -135,14 +134,19 @@ pub fn run_point(cfg: &ScalingConfig, agents: u32, workers: u32) -> ScalingPoint
     }
 }
 
-/// Runs the whole grid, load points in parallel across OS threads.
+/// Runs the whole grid through the [`sweep`](crate::par::sweep)
+/// launcher, load points in parallel across OS threads.
 pub fn run(cfg: &ScalingConfig) -> ScalingResult {
-    let grid: Vec<(u32, u32)> = cfg
+    let grid: Vec<(String, (u32, u32))> = cfg
         .worker_counts
         .iter()
-        .flat_map(|&w| cfg.agent_counts.iter().map(move |&a| (a, w)))
+        .flat_map(|&w| {
+            cfg.agent_counts
+                .iter()
+                .map(move |&a| (format!("agents={a} workers={w}"), (a, w)))
+        })
         .collect();
-    let points = par_map(&grid, |&(a, w)| run_point(cfg, a, w));
+    let points = crate::par::sweep("agent-scaling", grid, |&(a, w)| run_point(cfg, a, w)).results();
     ScalingResult { points }
 }
 

@@ -411,12 +411,32 @@ impl<T> WaveQueue<T> {
     ///
     /// Panics if called on a queue whose consumer is not the NIC.
     pub fn poll_nic(&mut self, now: SimTime, ic: &mut Interconnect, max: usize) -> PollOutcome<T> {
+        let mut items = Vec::new();
+        let cpu = self.poll_nic_into(now, ic, max, &mut items);
+        PollOutcome { cpu, items }
+    }
+
+    /// [`WaveQueue::poll_nic`], draining into a caller-owned buffer (the
+    /// agent pump runs this on every duty cycle, so the per-poll `Vec`
+    /// must be reusable scratch). Appends at most `max` entries to
+    /// `out` and returns the consumer CPU time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a queue whose consumer is not the NIC.
+    pub fn poll_nic_into(
+        &mut self,
+        now: SimTime,
+        ic: &mut Interconnect,
+        max: usize,
+        out: &mut Vec<T>,
+    ) -> SimTime {
         assert_eq!(self.dir.consumer(), Side::Nic, "NIC is not the consumer");
         let mut cpu = SimTime::ZERO;
-        let mut items = Vec::new();
+        let start = out.len();
         // Probe the head flag.
         cpu += ic.soc.access(self.nic_pte, 1);
-        while items.len() < max {
+        while out.len() - start < max {
             // Visibility is evaluated at the poll's start: a poll
             // observes a consistent snapshot of the ring.
             let visible = match self.entries.front() {
@@ -429,9 +449,9 @@ impl<T> WaveQueue<T> {
             let slot = self.entries.pop_front().expect("checked nonempty");
             cpu += ic.soc.access(self.nic_pte, self.entry_words);
             cpu += self.record_pop(now + cpu, ic);
-            items.push(slot.payload);
+            out.push(slot.payload);
         }
-        PollOutcome { cpu, items }
+        cpu
     }
 
     /// Host-side poll (consumer of a [`Direction::NicToHost`] queue).
