@@ -92,7 +92,7 @@ fn audit_sched_sim_pump() {
     let mut sc = SchedConfig::new(16, Placement::Offloaded, OptLevel::full());
     sc.duration = SimTime::from_ms(40);
     sc.warmup = SimTime::from_ms(5);
-    sc.offered = 16.0 * 100_000.0 * 1.2;
+    sc.workload.set_offered(16.0 * 100_000.0 * 1.2);
     let sim = SchedSim::new(sc, Box::new(FifoPolicy::new()));
     let before = allocs();
     let report = sim.run();
@@ -119,7 +119,7 @@ fn audit_sched_sim_steady_state() {
         let mut sc = SchedConfig::new(16, Placement::Offloaded, OptLevel::full());
         sc.duration = SimTime::from_ms(ms);
         sc.warmup = SimTime::from_ms(5);
-        sc.offered = 16.0 * 100_000.0 * 1.2;
+        sc.workload.set_offered(16.0 * 100_000.0 * 1.2);
         let sim = SchedSim::new(sc, Box::new(FifoPolicy::new()));
         let before = allocs();
         let report = sim.run();

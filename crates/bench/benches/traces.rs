@@ -1,0 +1,27 @@
+//! Regenerates the trace-driven production-workload sweep (synthetic
+//! diurnal/bursty/heavy-tailed trace through both agents) and
+//! benchmarks the scheduler trace-replay cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wave_lab::traces::{run_sched, TracesConfig};
+
+fn traces_sweep(c: &mut Criterion) {
+    bench::banner("trace-driven production workloads (streaming WorkloadSource, both agents)");
+    let cfg = TracesConfig::quick();
+    wave_lab::traces::report(&cfg).print();
+
+    c.bench_function("traces_sched_replay_cell", |b| {
+        b.iter(|| black_box(run_sched(&cfg)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = traces_sweep
+}
+criterion_main!(benches);

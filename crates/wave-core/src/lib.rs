@@ -41,6 +41,11 @@
 //!   agent that has made no decision for >20 ms).
 //! * [`opts`] — the optimization toggles of §5.3/§5.4, used by every
 //!   ablation in the evaluation.
+//! * [`workload`] — streaming workload generation: the
+//!   [`workload::WorkloadSource`] trait with Poisson, CSV-trace, and
+//!   deterministic synthetic-production-trace sources, the
+//!   [`workload::WorkloadSpec`] config value consumers embed, and the
+//!   [`workload::MemPhaseSource`] phase stream for the memory agent.
 
 pub mod agent;
 pub mod channel;
@@ -49,6 +54,7 @@ pub mod runtime;
 pub mod shard_map;
 pub mod txn;
 pub mod watchdog;
+pub mod workload;
 
 pub use agent::{Agent, AgentId, AgentState};
 pub use channel::{ChannelConfig, CommitOutcome, MsixMode, WaveChannel};
@@ -62,3 +68,8 @@ pub use shard_map::{
 };
 pub use txn::{GenerationTable, ResourceRef, Txn, TxnId, TxnOutcome, TxnOutcomeRecord};
 pub use watchdog::Watchdog;
+pub use workload::{
+    MemPhase, MemPhaseSource, MixEntry, PhaseSchedule, PoissonClock, PoissonSource, ServiceMix,
+    SloClass, SyntheticConfig, SyntheticTraceGenerator, Task, TraceError, TraceOptions,
+    TraceRecord, TraceSource, WorkloadEvent, WorkloadSource, WorkloadSpec,
+};

@@ -11,15 +11,8 @@ use wave_sim::SimTime;
 use crate::arena::ThreadTable;
 use crate::msg::Tid;
 
-/// Service-level-objective class of a request/thread (used by the
-/// multi-queue Shinjuku policy of §7.3.2; carried in the RPC payload).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct SloClass(pub u8);
-
-impl SloClass {
-    /// The default class for workloads without SLO annotations.
-    pub const DEFAULT: SloClass = SloClass(0);
-}
+// The SLO class lives with the workload types it annotates.
+pub use wave_core::workload::SloClass;
 
 /// Scheduler-relevant metadata about a thread.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -41,7 +41,6 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::SmallRng;
 use wave_core::runtime::{
     shard_range, AgentRuntime, ResourcePolicy, RuntimeConfig, SlotId, StageCost,
 };
@@ -49,10 +48,10 @@ use wave_core::shard_map::{
     FeedDemand, RebalanceConfig, RebalanceEvent, Rebalancer, ResourceMove, ShardMap,
 };
 use wave_core::txn::{GenerationTable, TxnId};
+use wave_core::workload::{AnySource, Task, WorkloadSource, WorkloadSpec};
 use wave_core::{AgentId, OptLevel};
 use wave_pcie::{Interconnect, MsixSendPath, MsixVector, PcieConfig};
 use wave_sim::cpu::{CoreClass, CpuModel, WorkloadClass};
-use wave_sim::dist::Exp;
 use wave_sim::stats::{Histogram, Summary};
 use wave_sim::{Sim, SimTime};
 
@@ -72,105 +71,10 @@ pub enum Placement {
     Offloaded,
 }
 
-/// One component of the request service-time mix.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct MixEntry {
-    /// Relative weight (probabilities are normalized).
-    pub weight: f64,
-    /// CPU service time of the request.
-    pub service: SimTime,
-    /// SLO class tag (used by multi-queue Shinjuku).
-    pub slo: SloClass,
-}
-
-/// The request service-time mix of the workload.
-///
-/// Construction precomputes a cumulative-weight table so per-arrival
-/// sampling is a single uniform draw plus a table probe instead of a
-/// full walk over the entries.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ServiceMix {
-    entries: Vec<MixEntry>,
-    /// Cumulative weights; `cum.last() == total`.
-    cum: Vec<f64>,
-    total: f64,
-}
-
-impl ServiceMix {
-    /// Builds a mix from its components.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `entries` is empty.
-    pub fn new(entries: Vec<MixEntry>) -> Self {
-        assert!(!entries.is_empty(), "mix is non-empty");
-        let mut cum = Vec::with_capacity(entries.len());
-        let mut total = 0.0;
-        for e in &entries {
-            total += e.weight;
-            cum.push(total);
-        }
-        ServiceMix {
-            entries,
-            cum,
-            total,
-        }
-    }
-
-    /// 100% 10 µs GET requests (Fig. 4a).
-    pub fn gets_10us() -> Self {
-        ServiceMix::new(vec![MixEntry {
-            weight: 1.0,
-            service: SimTime::from_us(10),
-            slo: SloClass(0),
-        }])
-    }
-
-    /// The paper's dispersive mix: 99.5% 10 µs GETs and 0.5% 10 ms RANGE
-    /// queries (Figs. 4b and 6).
-    pub fn paper_bimodal() -> Self {
-        ServiceMix::new(vec![
-            MixEntry {
-                weight: 0.995,
-                service: SimTime::from_us(10),
-                slo: SloClass(0),
-            },
-            MixEntry {
-                weight: 0.005,
-                service: SimTime::from_ms(10),
-                slo: SloClass(1),
-            },
-        ])
-    }
-
-    /// The mix components.
-    pub fn entries(&self) -> &[MixEntry] {
-        &self.entries
-    }
-
-    /// Mean service time of the mix.
-    pub fn mean_service(&self) -> SimTime {
-        let mean_ns: f64 = self
-            .entries
-            .iter()
-            .map(|e| e.weight / self.total * e.service.as_ns() as f64)
-            .sum();
-        SimTime::from_ns(mean_ns as u64)
-    }
-
-    fn sample(&self, rng: &mut SmallRng) -> (SimTime, SloClass) {
-        use rand::Rng;
-        let u: f64 = rng.random::<f64>() * self.total;
-        // First entry whose cumulative weight exceeds the draw; the last
-        // entry absorbs any floating-point shortfall.
-        let idx = self
-            .cum
-            .partition_point(|&c| c <= u)
-            .min(self.entries.len() - 1);
-        let e = self.entries[idx];
-        (e.service, e.slo)
-    }
-}
+// The mix types moved to `wave_core::workload` with the rest of the
+// workload API; re-exported here so `wave_ghost::{MixEntry, ServiceMix}`
+// keep resolving.
+pub use wave_core::workload::{MixEntry, ServiceMix};
 
 /// An RPC-style ingress stage in front of the scheduler (Fig. 6).
 ///
@@ -230,10 +134,17 @@ pub struct SchedConfig {
     pub cost: CostModel,
     /// CPU model (NIC ratios, frequency scaling).
     pub cpu: CpuModel,
-    /// Workload mix.
-    pub mix: ServiceMix,
-    /// Offered load in requests/second (open loop, Poisson).
-    pub offered: f64,
+    /// The workload: open-loop Poisson over a mix (the legacy
+    /// `mix`/`offered` pair, now [`WorkloadSpec::poisson`]), a replayed
+    /// trace, or the synthetic production-trace generator. The
+    /// simulation pulls arrivals and tasks from the source this spec
+    /// builds (seeded with [`SchedConfig::seed`]).
+    pub workload: WorkloadSpec,
+    /// Ascending phase boundaries for per-phase latency reporting
+    /// (diurnal/bursty traces): completions are bucketed by *arrival*
+    /// into `phases.len() + 1` windows. Empty (the default) disables
+    /// phase bucketing.
+    pub phases: Vec<SimTime>,
     /// Total simulated duration.
     pub duration: SimTime,
     /// Warmup period excluded from statistics.
@@ -267,8 +178,8 @@ impl SchedConfig {
             opts,
             cost: CostModel::calibrated(),
             cpu: CpuModel::mount_evans(),
-            mix: ServiceMix::gets_10us(),
-            offered: 100_000.0,
+            workload: WorkloadSpec::poisson(ServiceMix::gets_10us(), 100_000.0),
+            phases: Vec::new(),
             duration: SimTime::from_ms(500),
             warmup: SimTime::from_ms(50),
             seed: 42,
@@ -309,6 +220,10 @@ pub struct SchedReport {
     /// Request latency per SLO class, ascending class id (only classes
     /// that completed requests appear).
     pub latency_by_class: Vec<(SloClass, Summary)>,
+    /// Request latency per phase window ([`SchedConfig::phases`]):
+    /// `phases.len() + 1` summaries bucketed by arrival time, empty when
+    /// no phase boundaries were configured.
+    pub latency_by_phase: Vec<Summary>,
     /// The rebalancer's epoch history (empty when rebalancing is off):
     /// per-shard decision-rate samples and the committed core moves,
     /// generation-stamped.
@@ -445,8 +360,13 @@ pub struct SchedSim {
     /// The policies' run queues are intrusive lists through its rows.
     threads: ThreadTable,
     cores: Vec<CoreState>,
-    rng: SmallRng,
-    inter_arrival: Exp,
+    /// The workload source arrivals and tasks are pulled from
+    /// ([`SchedConfig::workload`] built with the config seed). For the
+    /// Poisson spec this reproduces the legacy inline sampling bit for
+    /// bit; traces and the synthetic generator slot in behind the same
+    /// two calls. Statically dispatched — two pulls per arrival make
+    /// this the sim's hottest external call.
+    source: AnySource,
     /// Sequential admission counter. *Not* the thread id (ids are
     /// generation-packed arena handles): this drives the round-robin /
     /// weighted wakeup routing, so routing stays bit-identical to the
@@ -458,6 +378,9 @@ pub struct SchedSim {
     lat: Histogram,
     /// Per-SLO-class latency histograms (key: class id).
     lat_by_class: BTreeMap<u8, Histogram>,
+    /// Per-phase latency histograms (`cfg.phases.len() + 1` buckets by
+    /// arrival time; empty when phase bucketing is off).
+    lat_by_phase: Vec<Histogram>,
     completed_measured: u64,
     dropped: u64,
     agent_core: CoreClass,
@@ -563,8 +486,11 @@ impl SchedSim {
             let rt = AgentRuntime::new(&mut ic, AgentId(i as u32), agent_core, cfg.cpu, &rcfg);
             shards.push(Shard { rt, policy });
         }
-        let inter_arrival = Exp::new(cfg.offered / 1e9); // events per ns
-        let rng = wave_sim::rng(cfg.seed);
+        assert!(
+            cfg.phases.windows(2).all(|w| w[0] <= w[1]),
+            "phase boundaries must ascend"
+        );
+        let source = cfg.workload.build(cfg.seed);
         let owned_cores = (0..cfg.agents)
             .map(|i| map.resources_of(i).map(|r| r as u32).collect())
             .collect();
@@ -599,14 +525,18 @@ impl SchedSim {
             wakeup_route,
             gen: GenerationTable::new(),
             threads: ThreadTable::with_capacity(1024),
-            rng,
-            inter_arrival,
+            source,
             next_seq: 0,
             next_txn: 0,
             run_token: 0,
             outstanding: 0,
             lat: Histogram::new(),
             lat_by_class: BTreeMap::new(),
+            lat_by_phase: if cfg.phases.is_empty() {
+                Vec::new()
+            } else {
+                vec![Histogram::new(); cfg.phases.len() + 1]
+            },
             completed_measured: 0,
             dropped: 0,
             agent_core,
@@ -650,8 +580,11 @@ impl SchedSim {
     pub fn run(mut self) -> SchedReport {
         let mut sim: S = Sim::new();
         sim.set_horizon(self.cfg.duration);
-        let first = SimTime::from_ns(1);
-        sim.schedule(first, |m: &mut SchedSim, s| m.arrival(s));
+        // The source announces the first arrival (open-loop generators:
+        // the fixed 1 ns first event; a trace: its first record).
+        if let Some(first) = self.source.next_arrival() {
+            sim.schedule(first, |m: &mut SchedSim, s| m.arrival(s));
+        }
         if let Some(rb) = &self.rebalancer {
             sim.schedule(rb.config().epoch, |m: &mut SchedSim, s| {
                 m.rebalance_epoch(s)
@@ -672,7 +605,7 @@ impl SchedSim {
         }
         self.diag.outstanding_at_end = self.outstanding as u64;
         SchedReport {
-            offered: self.cfg.offered,
+            offered: self.cfg.workload.offered(),
             achieved,
             latency: self.lat.summary(),
             completed: self.completed_measured,
@@ -688,6 +621,7 @@ impl SchedSim {
                 .iter()
                 .map(|(&c, h)| (SloClass(c), h.summary()))
                 .collect(),
+            latency_by_phase: self.lat_by_phase.iter().map(|h| h.summary()).collect(),
             rebalance: self
                 .rebalancer
                 .as_ref()
@@ -701,15 +635,20 @@ impl SchedSim {
 
     fn arrival(&mut self, sim: &mut S) {
         let now = sim.now();
-        // Schedule the next arrival first (open loop).
-        let dt = SimTime::from_ns(self.inter_arrival.sample(&mut self.rng).max(1.0) as u64);
-        sim.schedule(now + dt, |m: &mut SchedSim, s| m.arrival(s));
+        // Announce the next arrival first (open loop). The order —
+        // next-arrival draw, overload guard, then the task draw — is
+        // the legacy inline-sampling order, which is what keeps the
+        // Poisson source bit-identical (a shed arrival draws no task).
+        if let Some(at) = self.source.next_arrival() {
+            sim.schedule(at, |m: &mut SchedSim, s| m.arrival(s));
+        }
 
         if self.outstanding >= self.cfg.max_outstanding {
             self.dropped += 1;
+            self.source.drop_task();
             return;
         }
-        let (service, slo) = self.cfg.mix.sample(&mut self.rng);
+        let task = self.source.task();
         if let Some(ing) = self.cfg.ingress {
             // Route through the RPC stack: pick the least-busy stack
             // core; the scheduler learns about the request when protocol
@@ -725,27 +664,18 @@ impl SchedSim {
             let start = (now + ing.network_delay).max(self.stack_busy[idx]);
             self.stack_busy[idx] = start + svc;
             let done = start + svc;
-            sim.schedule(done, move |m: &mut SchedSim, s| {
-                m.admit(s, now, service, slo)
-            });
+            sim.schedule(done, move |m: &mut SchedSim, s| m.admit(s, now, task));
             return;
         }
-        self.admit_at(sim, now, now, service, slo);
+        self.admit_at(sim, now, now, task);
     }
 
-    fn admit(&mut self, sim: &mut S, wire_arrival: SimTime, service: SimTime, slo: SloClass) {
+    fn admit(&mut self, sim: &mut S, wire_arrival: SimTime, task: Task) {
         let now = sim.now();
-        self.admit_at(sim, now, wire_arrival, service, slo);
+        self.admit_at(sim, now, wire_arrival, task);
     }
 
-    fn admit_at(
-        &mut self,
-        sim: &mut S,
-        now: SimTime,
-        wire_arrival: SimTime,
-        service: SimTime,
-        slo: SloClass,
-    ) {
+    fn admit_at(&mut self, sim: &mut S, now: SimTime, wire_arrival: SimTime, task: Task) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.outstanding += 1;
@@ -754,19 +684,24 @@ impl SchedSim {
             .ingress
             .map_or(SimTime::ZERO, |i| i.worker_receive + i.worker_respond);
         let tid = self.threads.insert(
-            service + SimTime::from_ns(self.cfg.cost.app_overhead_ns) + io,
+            task.service + SimTime::from_ns(self.cfg.cost.app_overhead_ns) + io,
             wire_arrival,
-            slo,
+            task.slo,
         );
         self.gen.insert(tid.0);
-        // New threads are not yet bound to a core: route the wakeup
-        // round-robin across the agent shards (or by the experiment's
-        // skew weights). Routing keys off the sequential admission
-        // counter, not the packed tid, so slot reuse cannot perturb it.
-        // The load generator core sends the message (its CPU time is
-        // not charged against worker throughput, matching the paper's
-        // setup where the generator has its own resources).
-        let si = self.route_wakeup(seq);
+        // New threads are not yet bound to a core: a task carrying an
+        // affinity hint (trace/synthetic hotspots) is pinned to that
+        // shard; otherwise route the wakeup round-robin across the agent
+        // shards (or by the experiment's skew weights). Routing keys off
+        // the sequential admission counter, not the packed tid, so slot
+        // reuse cannot perturb it. The load generator core sends the
+        // message (its CPU time is not charged against worker
+        // throughput, matching the paper's setup where the generator has
+        // its own resources).
+        let si = match task.affinity {
+            Some(a) => (a as usize) % self.shards.len(),
+            None => self.route_wakeup(seq),
+        };
         let msg = SchedMsg::new(tid, SchedMsgKind::Wakeup, None);
         let (mut cost, delivered) = self.shards[si].rt.host_send(now, &mut self.ic, msg);
         if !delivered {
@@ -1343,6 +1278,12 @@ impl SchedSim {
                 .entry(slo.0)
                 .or_default()
                 .record_time(now - arrival);
+            if !self.lat_by_phase.is_empty() {
+                // Bucket by arrival: a request belongs to the phase its
+                // load hit the system in, not the one it drained in.
+                let idx = self.cfg.phases.partition_point(|&p| p <= arrival);
+                self.lat_by_phase[idx].record_time(now - arrival);
+            }
             self.completed_measured += 1;
         }
     }
@@ -1405,7 +1346,7 @@ mod tests {
 
     fn quick_cfg(placement: Placement, opts: OptLevel, offered: f64) -> SchedConfig {
         let mut cfg = SchedConfig::new(4, placement, opts);
-        cfg.offered = offered;
+        cfg.workload.set_offered(offered);
         cfg.duration = SimTime::from_ms(200);
         cfg.warmup = SimTime::from_ms(20);
         cfg
@@ -1489,7 +1430,7 @@ mod tests {
     #[test]
     fn shinjuku_preempts_long_requests() {
         let mut cfg = quick_cfg(Placement::Offloaded, OptLevel::full(), 20_000.0);
-        cfg.mix = ServiceMix::paper_bimodal();
+        cfg.workload = WorkloadSpec::poisson(ServiceMix::paper_bimodal(), 20_000.0);
         let report = SchedSim::new(cfg, Box::new(ShinjukuPolicy::paper_default())).run();
         assert!(report.completed > 2_000);
         // With 0.5% 10 ms requests and FIFO, p99 of the GETs would blow
@@ -1531,7 +1472,7 @@ mod tests {
     fn sharded_cfg(workers: u32, agents: u32, offered: f64) -> SchedConfig {
         let mut cfg = SchedConfig::new(workers, Placement::Offloaded, OptLevel::full());
         cfg.agents = agents;
-        cfg.offered = offered;
+        cfg.workload.set_offered(offered);
         cfg.duration = SimTime::from_ms(150);
         cfg.warmup = SimTime::from_ms(20);
         cfg
@@ -1582,7 +1523,7 @@ mod tests {
         // Bimodal mix: a 10 ms RANGE clogs one shard's cores while its
         // siblings idle — stealing should kick in.
         let mut cfg = sharded_cfg(4, 2, 60_000.0);
-        cfg.mix = ServiceMix::paper_bimodal();
+        cfg.workload = WorkloadSpec::poisson(ServiceMix::paper_bimodal(), 60_000.0);
         cfg.steal = true;
         let stealing =
             SchedSim::with_policy_factory(cfg.clone(), |_| Box::new(FifoPolicy::new())).run();
@@ -1693,7 +1634,7 @@ mod tests {
     #[test]
     fn per_class_latency_is_reported() {
         let mut cfg = quick_cfg(Placement::Offloaded, OptLevel::full(), 20_000.0);
-        cfg.mix = ServiceMix::paper_bimodal();
+        cfg.workload = WorkloadSpec::poisson(ServiceMix::paper_bimodal(), 20_000.0);
         let r = SchedSim::new(cfg, Box::new(ShinjukuPolicy::paper_default())).run();
         assert_eq!(r.latency_by_class.len(), 2, "both mix classes completed");
         assert_eq!(r.latency_by_class[0].0, SloClass(0));
@@ -1715,5 +1656,63 @@ mod tests {
         }
         // 0.5% of 200k = 1000 expected RANGEs; allow wide slack.
         assert!((600..1_400).contains(&long), "long {long}");
+    }
+
+    // --- Workload sources --------------------------------------------------
+
+    use wave_core::workload::{SloClass as Wslo, SyntheticConfig, TraceRecord};
+
+    #[test]
+    fn synthetic_workload_drives_the_sim_deterministically() {
+        let run = || {
+            let mut cfg = quick_cfg(Placement::Offloaded, OptLevel::full(), 0.0);
+            let mut syn = SyntheticConfig::diurnal_bursty();
+            syn.base_rate = 40_000.0;
+            syn.diurnal_period = SimTime::from_ms(50);
+            cfg.workload = WorkloadSpec::synthetic(syn);
+            SchedSim::new(cfg, Box::new(FifoPolicy::new())).run()
+        };
+        let (a, b) = (run(), run());
+        assert!(a.completed > 2_000, "completed {}", a.completed);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.latency.p99, b.latency.p99);
+        assert_eq!(a.msix_sent, b.msix_sent);
+    }
+
+    #[test]
+    fn trace_workload_replays_and_affinity_pins_shards() {
+        // Every task is pinned to shard 1 of 2: shard 0 never receives a
+        // wakeup, so it makes no decisions — the routing analogue of the
+        // weighted-routing starvation test, driven by the trace.
+        // Arrivals start past the 20 ms warmup so every completion is
+        // measured.
+        let records: Vec<TraceRecord> = (0..2_000)
+            .map(|i| TraceRecord {
+                at: SimTime::from_us(21_000 + i * 20),
+                service: SimTime::from_us(5),
+                slo: Wslo(0),
+                affinity: Some(1),
+                mem_delta: 0,
+            })
+            .collect();
+        let mut cfg = sharded_cfg(4, 2, 0.0);
+        cfg.workload = WorkloadSpec::trace(records);
+        let r = SchedSim::with_policy_factory(cfg, |_| Box::new(FifoPolicy::new())).run();
+        assert!(r.completed > 1_500, "completed {}", r.completed);
+        assert_eq!(r.per_agent_decisions[0], 0, "pinned-away shard decided");
+        assert!(r.per_agent_decisions[1] > 0);
+    }
+
+    #[test]
+    fn phase_boundaries_bucket_latency_by_arrival() {
+        let mut cfg = quick_cfg(Placement::Offloaded, OptLevel::full(), 50_000.0);
+        cfg.phases = vec![SimTime::from_ms(80), SimTime::from_ms(140)];
+        let r = SchedSim::new(cfg, Box::new(FifoPolicy::new())).run();
+        assert_eq!(r.latency_by_phase.len(), 3);
+        let total: u64 = r.latency_by_phase.iter().map(|s| s.count).sum();
+        assert_eq!(total, r.completed, "every completion lands in a phase");
+        for (i, s) in r.latency_by_phase.iter().enumerate() {
+            assert!(s.count > 0, "phase {i} empty");
+        }
     }
 }

@@ -14,6 +14,7 @@
 
 use rand::rngs::SmallRng;
 use rand::Rng;
+use wave_core::workload::MemPhase;
 use wave_sim::SimTime;
 
 /// Footprint configuration.
@@ -103,9 +104,40 @@ pub struct DbFootprint {
     cfg: FootprintConfig,
     hot: Vec<bool>,
     resident: Vec<bool>,
-    /// Batches below this index are ambivalent (precomputed from
+    /// First batch of the ambivalent window (wraps around the space).
+    /// Zero at construction; [`DbFootprint::apply_phase`] moves it.
+    flappy_start: usize,
+    /// Batches in the ambivalent window (precomputed from
     /// `cfg.flappy_batches()` — `sample_access` is the hot loop).
-    flappy_until: usize,
+    flappy_len: usize,
+    /// Construction seed and layout, kept so phase changes can re-derive
+    /// the hot set deterministically (`seed ^ phase.reseed`).
+    seed: u64,
+    pattern: AccessPattern,
+}
+
+/// Assigns `hot_count` hot batches over `n` according to `pattern`.
+fn assign_hot(n: usize, hot_count: usize, pattern: AccessPattern, seed: u64) -> Vec<bool> {
+    let mut hot = vec![false; n];
+    match pattern {
+        AccessPattern::Clustered => {
+            for h in hot.iter_mut().take(hot_count) {
+                *h = true;
+            }
+        }
+        AccessPattern::Scattered => {
+            let mut rng = wave_sim::rng(seed);
+            let mut assigned = 0;
+            while assigned < hot_count.min(n) {
+                let i = rng.random_range(0..n);
+                if !hot[i] {
+                    hot[i] = true;
+                    assigned += 1;
+                }
+            }
+        }
+    }
+    hot
 }
 
 impl DbFootprint {
@@ -114,31 +146,31 @@ impl DbFootprint {
         let n = cfg.batches();
         assert!(n > 0, "address space too small for one batch");
         let hot_count = (n as f64 * cfg.hot_fraction).round() as usize;
-        let mut hot = vec![false; n];
-        match pattern {
-            AccessPattern::Clustered => {
-                for h in hot.iter_mut().take(hot_count) {
-                    *h = true;
-                }
-            }
-            AccessPattern::Scattered => {
-                let mut rng = wave_sim::rng(seed);
-                let mut assigned = 0;
-                while assigned < hot_count {
-                    let i = rng.random_range(0..n);
-                    if !hot[i] {
-                        hot[i] = true;
-                        assigned += 1;
-                    }
-                }
-            }
-        }
         DbFootprint {
-            flappy_until: cfg.flappy_batches(),
+            flappy_start: 0,
+            flappy_len: cfg.flappy_batches(),
             cfg,
-            hot,
+            hot: assign_hot(n, hot_count, pattern, seed),
             resident: vec![true; n],
+            seed,
+            pattern,
         }
+    }
+
+    /// Applies a workload phase change: re-derives the hot set with the
+    /// phase's `hot_fraction` (seeded `seed ^ reseed`, so each phase
+    /// flips a deterministic but distinct subset) and moves the
+    /// ambivalent window to `flappy_offset` around the space. Residency
+    /// is untouched — promotions and demotions remain SOL's job; the
+    /// phase changes the ground truth it must re-learn.
+    pub fn apply_phase(&mut self, phase: &MemPhase) {
+        let n = self.hot.len();
+        self.cfg.hot_fraction = phase.hot_fraction;
+        self.cfg.flappy_fraction = phase.flappy_fraction;
+        let hot_count = (n as f64 * phase.hot_fraction).round() as usize;
+        self.hot = assign_hot(n, hot_count, self.pattern, self.seed ^ phase.reseed);
+        self.flappy_len = self.cfg.flappy_batches();
+        self.flappy_start = ((n as f64 * phase.flappy_offset).round() as usize) % n;
     }
 
     /// Number of batches.
@@ -157,10 +189,17 @@ impl DbFootprint {
         self.resident[i]
     }
 
+    /// Whether batch `i` falls inside the ambivalent window (which may
+    /// wrap around the end of the space after a phase moved it).
+    pub fn is_flappy(&self, i: usize) -> bool {
+        let n = self.hot.len();
+        (i + n - self.flappy_start) % n < self.flappy_len
+    }
+
     /// Simulates the workload touching memory during one scan window:
     /// returns whether batch `i`'s access bits would be found set.
     pub fn sample_access(&self, i: usize, rng: &mut SmallRng) -> bool {
-        let p = if i < self.flappy_until {
+        let p = if self.is_flappy(i) {
             self.cfg.flappy_touch_prob
         } else if self.hot[i] {
             self.cfg.hot_touch_prob
@@ -270,6 +309,58 @@ mod tests {
         assert!((rate - 0.5).abs() < 0.05, "front rate {rate}");
         // Default workload has no flappy region at all.
         assert_eq!(FootprintConfig::paper(0.001).flappy_batches(), 0);
+    }
+
+    #[test]
+    fn phase_moves_the_flappy_window_and_redraws_the_hot_set() {
+        use wave_sim::SimTime;
+        let cfg = FootprintConfig::skewed(0.001, 0.25);
+        let mut f = DbFootprint::new(cfg, AccessPattern::Scattered, 7);
+        let n = f.batches();
+        let before: Vec<bool> = (0..n).map(|i| f.is_hot(i)).collect();
+        assert!(f.is_flappy(0) && !f.is_flappy(n / 2));
+
+        let phase = wave_core::workload::MemPhase {
+            at: SimTime::ZERO,
+            hot_fraction: cfg.hot_fraction,
+            flappy_fraction: 0.25,
+            flappy_offset: 0.5,
+            reseed: 1,
+        };
+        f.apply_phase(&phase);
+        // The window moved to [0.5n, 0.75n)...
+        assert!(!f.is_flappy(0) && f.is_flappy(n * 6 / 10));
+        // ...the hot set was re-drawn (same fraction, different subset)...
+        let after: Vec<bool> = (0..n).map(|i| f.is_hot(i)).collect();
+        assert_ne!(before, after, "reseed must flip a subset");
+        let frac = after.iter().filter(|&&h| h).count() as f64 / n as f64;
+        assert!((frac - cfg.hot_fraction).abs() < 0.02, "frac {frac}");
+        // ...and residency is untouched (SOL must re-learn, not be reset).
+        assert!((f.resident_fraction() - 1.0).abs() < 1e-12);
+
+        // Deterministic: same phase on a fresh twin lands identically.
+        let mut g = DbFootprint::new(cfg, AccessPattern::Scattered, 7);
+        g.apply_phase(&phase);
+        let twin: Vec<bool> = (0..n).map(|i| g.is_hot(i)).collect();
+        assert_eq!(after, twin);
+    }
+
+    #[test]
+    fn flappy_window_wraps_around_the_space() {
+        use wave_sim::SimTime;
+        let cfg = FootprintConfig::skewed(0.001, 0.2);
+        let mut f = DbFootprint::new(cfg, AccessPattern::Clustered, 1);
+        let n = f.batches();
+        f.apply_phase(&wave_core::workload::MemPhase {
+            at: SimTime::ZERO,
+            hot_fraction: cfg.hot_fraction,
+            flappy_fraction: 0.2,
+            flappy_offset: 0.9,
+            reseed: 2,
+        });
+        // Window [0.9n, 1.1n) wraps: tail and head flappy, middle not.
+        assert!(f.is_flappy(n - 1) && f.is_flappy(0));
+        assert!(!f.is_flappy(n / 2));
     }
 
     #[test]

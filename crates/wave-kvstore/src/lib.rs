@@ -17,4 +17,4 @@ pub mod workload;
 
 pub use footprint::{AccessPattern, DbFootprint, FootprintConfig};
 pub use store::{Db, DbConfig, Request, RequestKind};
-pub use workload::{LoadGen, RequestMix};
+pub use workload::{KvSource, LoadGen, RequestMix};

@@ -1,11 +1,18 @@
 //! Open-loop load generation (the paper's RocksDB driver).
+//!
+//! [`LoadGen`] shares its arrival sampling with the scheduler's Poisson
+//! source through [`wave_core::workload::PoissonClock`], and adapts into
+//! the streaming [`WorkloadSource`] trait via [`LoadGen::into_source`]
+//! (requests become [`Task`]s carrying the store's service-time
+//! envelope).
 
 use rand::rngs::SmallRng;
 use rand::Rng;
-use wave_sim::dist::{Bernoulli, Exp};
+use wave_core::workload::{PoissonClock, SloClass, Task, WorkloadSource};
+use wave_sim::dist::Bernoulli;
 use wave_sim::SimTime;
 
-use crate::store::{Request, RequestKind};
+use crate::store::{DbConfig, Request, RequestKind};
 
 /// The GET/RANGE request mix.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,7 +61,7 @@ impl RequestMix {
 #[derive(Debug)]
 pub struct LoadGen {
     mix: RequestMix,
-    inter_arrival: Exp,
+    clock: PoissonClock,
     range_draw: Bernoulli,
     rng: SmallRng,
     generated: u64,
@@ -69,7 +76,7 @@ impl LoadGen {
     pub fn new(mix: RequestMix, rate: f64, seed: u64) -> Self {
         LoadGen {
             mix,
-            inter_arrival: Exp::new(rate / 1e9),
+            clock: PoissonClock::new(rate),
             range_draw: Bernoulli::new(mix.range_fraction),
             rng: wave_sim::rng(seed),
             generated: 0,
@@ -80,7 +87,7 @@ impl LoadGen {
     /// `now`.
     pub fn next_request(&mut self, now: SimTime) -> (SimTime, Request) {
         self.generated += 1;
-        let dt = SimTime::from_ns(self.inter_arrival.sample(&mut self.rng).max(1.0) as u64);
+        let dt = self.clock.step(&mut self.rng);
         let key = self.rng.random_range(0..self.mix.key_space.max(1));
         let req = if self.range_draw.sample(&mut self.rng) {
             Request {
@@ -101,6 +108,64 @@ impl LoadGen {
     /// Requests generated so far.
     pub fn generated(&self) -> u64 {
         self.generated
+    }
+
+    /// Adapts the generator into a streaming [`WorkloadSource`]:
+    /// requests become [`Task`]s carrying `db`'s service-time envelope
+    /// (GET → latency class 0, RANGE → throughput class 1), so the
+    /// kvstore driver can feed any source-driven consumer.
+    pub fn into_source(self, db: DbConfig) -> KvSource {
+        KvSource {
+            gen: self,
+            db,
+            now: SimTime::ZERO,
+            pending: std::collections::VecDeque::new(),
+        }
+    }
+}
+
+/// [`LoadGen`] behind the [`WorkloadSource`] trait.
+///
+/// The generator draws eagerly (arrival + request in one step, the
+/// `next_request` order), so tasks for announced arrivals queue until
+/// the consumer claims or drops them — a driver may announce arrival
+/// `k + 1` before claiming task `k`.
+#[derive(Debug)]
+pub struct KvSource {
+    gen: LoadGen,
+    db: DbConfig,
+    now: SimTime,
+    pending: std::collections::VecDeque<Task>,
+}
+
+impl KvSource {
+    /// Requests generated so far.
+    pub fn generated(&self) -> u64 {
+        self.gen.generated()
+    }
+}
+
+impl WorkloadSource for KvSource {
+    fn next_arrival(&mut self) -> Option<SimTime> {
+        let (at, req) = self.gen.next_request(self.now);
+        self.now = at;
+        let (service, slo) = match req.kind {
+            RequestKind::Get => (self.db.get_service, SloClass(0)),
+            RequestKind::Range => (self.db.range_service, SloClass(1)),
+            RequestKind::Put => (self.db.put_service, SloClass(0)),
+        };
+        self.pending.push_back(Task::new(service, slo));
+        Some(at)
+    }
+
+    fn task(&mut self) -> Task {
+        self.pending
+            .pop_front()
+            .expect("task claimed before arrival")
+    }
+
+    fn drop_task(&mut self) {
+        self.pending.pop_front();
     }
 }
 
@@ -146,5 +211,55 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_request(SimTime::ZERO), b.next_request(SimTime::ZERO));
         }
+    }
+
+    #[test]
+    fn source_adapter_matches_the_raw_generator() {
+        // The adapter must replay the exact same request stream the raw
+        // generator yields: same arrivals, services mapped through the
+        // store's envelope.
+        let db = DbConfig::default();
+        let mut raw = LoadGen::new(RequestMix::paper_bimodal(1_000), 1e6, 5);
+        let mut src = LoadGen::new(RequestMix::paper_bimodal(1_000), 1e6, 5).into_source(db);
+        let mut t = SimTime::ZERO;
+        for _ in 0..10_000 {
+            let (at, req) = raw.next_request(t);
+            t = at;
+            let ev = src.next_event().expect("open loop");
+            assert_eq!(ev.at, at);
+            let want = match req.kind {
+                RequestKind::Get => (db.get_service, SloClass(0)),
+                RequestKind::Range => (db.range_service, SloClass(1)),
+                RequestKind::Put => (db.put_service, SloClass(0)),
+            };
+            assert_eq!((ev.task.service, ev.task.slo), want);
+        }
+    }
+
+    #[test]
+    fn source_adapter_queues_in_flight_tasks() {
+        // A scheduler-shaped driver announces arrival k+1 before
+        // claiming task k; the queue must keep them aligned, and a drop
+        // must skip exactly one task.
+        let db = DbConfig::default();
+        let mut a = LoadGen::new(RequestMix::paper_bimodal(1_000), 1e6, 8).into_source(db);
+        let mut b = LoadGen::new(RequestMix::paper_bimodal(1_000), 1e6, 8).into_source(db);
+        // a: straight-line events.
+        let e0 = a.next_event().unwrap();
+        let e1 = a.next_event().unwrap();
+        // b: announce both arrivals first, then claim in order.
+        let at0 = b.next_arrival().unwrap();
+        let at1 = b.next_arrival().unwrap();
+        assert_eq!((at0, at1), (e0.at, e1.at));
+        assert_eq!(b.task(), e0.task);
+        assert_eq!(b.task(), e1.task);
+        // And dropping skips one.
+        let e2 = a.next_event().unwrap();
+        let e3 = a.next_event().unwrap();
+        b.next_arrival();
+        b.next_arrival();
+        b.drop_task();
+        assert_eq!(b.task(), e3.task);
+        let _ = e2;
     }
 }

@@ -379,7 +379,8 @@ fn run_sched(cfg: &EngineBenchConfig) -> (u64, u64) {
     sc.warmup = SimTime::from_ms(5);
     // Saturating load so the event stream is dense (capacity ~= workers
     // per 10 us service time).
-    sc.offered = cfg.sched_workers as f64 * 100_000.0 * 1.2;
+    sc.workload
+        .set_offered(cfg.sched_workers as f64 * 100_000.0 * 1.2);
     let sim = SchedSim::new(sc, Box::new(FifoPolicy::new()));
     let t0 = Instant::now();
     let report = sim.run();

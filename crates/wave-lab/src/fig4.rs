@@ -13,6 +13,7 @@
 //! Wave-16 at each [`OptLevel`] rung.
 
 use serde::Serialize;
+use wave_core::workload::WorkloadSpec;
 use wave_core::OptLevel;
 use wave_ghost::policies::{FifoPolicy, ShinjukuPolicy};
 use wave_ghost::policy::SchedPolicy;
@@ -147,8 +148,7 @@ impl Fig4Config {
 /// Runs one load point of a scenario.
 pub fn run_point(cfg: &Fig4Config, scenario: Scenario, offered: f64) -> SchedReport {
     let mut sc = SchedConfig::new(scenario.workers(), scenario.placement(), cfg.opts);
-    sc.mix = cfg.mix();
-    sc.offered = offered;
+    sc.workload = WorkloadSpec::poisson(cfg.mix(), offered);
     sc.duration = cfg.duration;
     sc.warmup = cfg.warmup;
     sc.seed = cfg.seed;

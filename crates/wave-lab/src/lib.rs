@@ -20,6 +20,7 @@
 //! | [`scaling`] | §6 scale-out — scheduler throughput vs agent count |
 //! | [`mem_scaling`] | §6 scale-out — SOL iteration duration vs shard count |
 //! | [`rebalance`] | dynamic shard rebalancing under skewed load, both agents |
+//! | [`traces`] | trace-driven production workloads (diurnal/bursty/heavy-tailed), both agents |
 //! | [`engine`] | engine throughput — sim-events/sec, tracked in `BENCH_engine.json` |
 //!
 //! Independent load points run in parallel on `std::thread` workers
@@ -37,6 +38,7 @@ pub mod report;
 pub mod scaling;
 pub mod table2;
 pub mod table3;
+pub mod traces;
 pub mod upi;
 
 pub use report::{PaperRow, Report};

@@ -10,6 +10,7 @@
 //! * UPI at 3 GHz beats the real PCIe-attached SmartNIC by 0.9%.
 
 use serde::Serialize;
+use wave_core::workload::WorkloadSpec;
 use wave_core::OptLevel;
 use wave_ghost::policies::ShinjukuPolicy;
 use wave_ghost::sim::{Placement, SchedConfig, SchedSim, ServiceMix};
@@ -80,7 +81,7 @@ fn sched_config(cfg: &UpiConfig, scenario: UpiScenario) -> SchedConfig {
         },
         OptLevel::full(),
     );
-    sc.mix = ServiceMix::paper_bimodal();
+    sc.workload = WorkloadSpec::poisson(ServiceMix::paper_bimodal(), 100_000.0);
     sc.duration = cfg.duration;
     sc.warmup = cfg.warmup;
     sc.seed = cfg.seed;
@@ -108,7 +109,7 @@ pub fn saturation(cfg: &UpiConfig, scenario: UpiScenario) -> f64 {
     for _ in 0..6 {
         let sc = {
             let mut c = sched_config(cfg, scenario);
-            c.offered = lo;
+            c.workload.set_offered(lo);
             c
         };
         let rep = SchedSim::new(sc, Box::new(ShinjukuPolicy::paper_default())).run();
@@ -123,7 +124,7 @@ pub fn saturation(cfg: &UpiConfig, scenario: UpiScenario) -> f64 {
         let mid = (lo + hi) / 2.0;
         let sc = {
             let mut c = sched_config(cfg, scenario);
-            c.offered = mid;
+            c.workload.set_offered(mid);
             c
         };
         let rep = SchedSim::new(sc, Box::new(ShinjukuPolicy::paper_default())).run();

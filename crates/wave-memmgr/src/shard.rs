@@ -65,6 +65,7 @@
 use rand::rngs::SmallRng;
 use wave_core::runtime::shard_range;
 use wave_core::shard_map::{RebalanceConfig, RebalanceEvent, Rebalancer, ShardMap, ShedLoad};
+use wave_core::workload::{MemPhase, MemPhaseSource};
 use wave_kvstore::DbFootprint;
 use wave_pcie::Interconnect;
 use wave_sim::cpu::CpuModel;
@@ -184,6 +185,11 @@ pub struct ShardedSolRunner {
     /// Dynamic batch rebalancing, when enabled
     /// ([`ShardedSolRunner::with_rebalance`]).
     rebalancer: Option<Rebalancer>,
+    /// A phase pulled from the source but not yet due — buffered so the
+    /// pull-based [`MemPhaseSource`] is only advanced once per phase.
+    pending_phase: Option<MemPhase>,
+    /// Phases applied so far ([`ShardedSolRunner::phases_applied`]).
+    phases_applied: u64,
 }
 
 impl ShardedSolRunner {
@@ -232,6 +238,8 @@ impl ShardedSolRunner {
             last_epoch: SimTime::ZERO,
             map,
             rebalancer: None,
+            pending_phase: None,
+            phases_applied: 0,
         }
     }
 
@@ -331,6 +339,36 @@ impl ShardedSolRunner {
             per_shard.push(cost);
         }
         (merged, ShardedCost { per_shard })
+    }
+
+    /// Runs one sharded iteration at `now` under a streaming phase
+    /// schedule: first applies every [`MemPhase`] due by `now` to the
+    /// footprint ([`DbFootprint::apply_phase`] — the ground truth moves;
+    /// nothing agent-side is touched, the shards must re-learn it from
+    /// the page tables), then runs the ordinary
+    /// [`ShardedSolRunner::run_iteration`]. A phase pulled early is
+    /// buffered, so a sparse schedule costs one peek per call.
+    pub fn run_phased_iteration(
+        &mut self,
+        phases: &mut dyn MemPhaseSource,
+        workload: &mut DbFootprint,
+        now: SimTime,
+    ) -> (SolStats, ShardedCost) {
+        while let Some(ph) = self.pending_phase.take().or_else(|| phases.next_phase()) {
+            if ph.at > now {
+                self.pending_phase = Some(ph);
+                break;
+            }
+            workload.apply_phase(&ph);
+            self.phases_applied += 1;
+        }
+        self.run_iteration(workload, now)
+    }
+
+    /// Phases applied by [`ShardedSolRunner::run_phased_iteration`] so
+    /// far.
+    pub fn phases_applied(&self) -> u64 {
+        self.phases_applied
     }
 
     /// Whether an epoch boundary has passed. The epoch clock is
@@ -656,6 +694,50 @@ mod tests {
     /// nearly all the scan work until batches move.
     fn skewed_world() -> DbFootprint {
         DbFootprint::new(FpConfig::skewed(0.001, 0.5), AccessPattern::Scattered, 3)
+    }
+
+    #[test]
+    fn phased_iteration_applies_due_phases_and_buffers_the_rest() {
+        use wave_core::workload::PhaseSchedule;
+        let mut fp = skewed_world();
+        let mut k2 = ShardedSolRunner::new(
+            RunnerConfig::paper(CoreClass::NicArm, 16),
+            CpuModel::mount_evans(),
+            2,
+            SolConfig::paper(),
+            fp.batches(),
+            4,
+        );
+        // Window rotates between the two halves every 1.2 s.
+        let mut sched = PhaseSchedule::rotating(
+            SimTime::from_ms(600),
+            SimTime::from_ms(1_200),
+            4,
+            2,
+            fp.config().hot_fraction,
+            0.5,
+        );
+        assert!(fp.is_flappy(0), "starts at the front");
+
+        // t=0: nothing due; the first phase is buffered, not dropped.
+        k2.run_phased_iteration(&mut sched, &mut fp, SimTime::ZERO);
+        assert_eq!(k2.phases_applied(), 0);
+        assert!(fp.is_flappy(0));
+
+        // t=600ms: phase 0 fires (offset 0 — window still at front).
+        k2.run_phased_iteration(&mut sched, &mut fp, SimTime::from_ms(600));
+        assert_eq!(k2.phases_applied(), 1);
+        assert!(fp.is_flappy(0));
+
+        // t=1.8s: phase 1 fires and drags the window to the back half.
+        k2.run_phased_iteration(&mut sched, &mut fp, SimTime::from_ms(1_800));
+        assert_eq!(k2.phases_applied(), 2);
+        let n = fp.batches();
+        assert!(!fp.is_flappy(n / 4) && fp.is_flappy(n * 3 / 4));
+
+        // Jumping past the rest applies every remaining phase at once.
+        k2.run_phased_iteration(&mut sched, &mut fp, SimTime::from_ms(10_000));
+        assert_eq!(k2.phases_applied(), 4);
     }
 
     #[test]

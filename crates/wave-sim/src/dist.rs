@@ -10,6 +10,8 @@
 //! * [`Gamma`] (Marsaglia–Tsang) and [`Beta`] — required by SOL's Thompson
 //!   sampling with a Beta prior (§4.2).
 //! * [`Bernoulli`] — the paper's 99.5%/0.5% GET/RANGE request mix.
+//! * [`Pareto`] — heavy-tailed service times for the synthetic
+//!   production-trace generator (`wave_core::workload`).
 //!
 //! Each sampler has moment-level statistical tests.
 
@@ -136,6 +138,64 @@ impl Zipf {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.cdf.len()),
         }
+    }
+}
+
+/// Pareto distribution with shape `alpha` and minimum value `scale`.
+///
+/// Sampled by inversion: `scale * U^(-1/alpha)`. The heavy tail
+/// (`P[X > x] = (scale/x)^alpha`) is what makes trace-shaped service
+/// times "dispersive" in a way the bimodal paper mix is not: for
+/// `alpha <= 2` the variance is infinite, so open-loop queues see rare
+/// but enormous jobs.
+///
+/// # Examples
+///
+/// ```
+/// use wave_sim::dist::Pareto;
+/// let mut rng = wave_sim::rng(7);
+/// let d = Pareto::new(1.5, 10.0);
+/// assert!(d.sample(&mut rng) >= 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    alpha: f64,
+    scale: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with tail index `alpha` and minimum
+    /// `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive and finite.
+    pub fn new(alpha: f64, scale: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "pareto shape must be positive, got {alpha}"
+        );
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "pareto scale must be positive, got {scale}"
+        );
+        Pareto { alpha, scale }
+    }
+
+    /// The distribution mean (`alpha * scale / (alpha - 1)` for
+    /// `alpha > 1`; infinite otherwise).
+    pub fn mean(&self) -> f64 {
+        if self.alpha > 1.0 {
+            self.alpha * self.scale / (self.alpha - 1.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Draws one sample in `[scale, inf)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.random::<f64>();
+        self.scale * u.powf(-1.0 / self.alpha)
     }
 }
 
@@ -306,6 +366,29 @@ mod tests {
             let p = count as f64 / 100_000.0;
             assert!((p - 0.1).abs() < 0.01, "rank {k} p {p}");
         }
+    }
+
+    #[test]
+    fn pareto_median_and_mean() {
+        let mut rng = crate::rng(11);
+        let d = Pareto::new(2.5, 10.0);
+        let mut samples: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert!(samples[0] >= 10.0, "support starts at scale");
+        // Median = scale * 2^(1/alpha) ~ 13.195.
+        let median = samples[samples.len() / 2];
+        assert!((median - 13.195).abs() < 0.2, "median {median}");
+        // Mean = 2.5 * 10 / 1.5 ~ 16.67 (finite variance at alpha=2.5,
+        // but slow convergence: allow generous slack).
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 16.67).abs() < 0.8, "mean {mean}");
+        assert!(Pareto::new(1.0, 5.0).mean().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn pareto_rejects_zero_shape() {
+        let _ = Pareto::new(0.0, 1.0);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use wave::sim::SimTime;
 
 fn run_scenario(label: &str, workers: u32, placement: Placement) {
     let mut cfg = SchedConfig::new(workers, placement, OptLevel::full());
-    cfg.offered = 500_000.0;
+    cfg.workload.set_offered(500_000.0);
     cfg.duration = SimTime::from_ms(300);
     cfg.warmup = SimTime::from_ms(50);
     let report = SchedSim::new(cfg, Box::new(FifoPolicy::new())).run();

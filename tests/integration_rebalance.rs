@@ -18,7 +18,7 @@ use wave::sim::SimTime;
 fn skewed_sched(rebalance: bool) -> SchedReport {
     let mut c = SchedConfig::new(8, Placement::Offloaded, OptLevel::full());
     c.agents = 2;
-    c.offered = 330_000.0;
+    c.workload.set_offered(330_000.0);
     c.duration = SimTime::from_ms(150);
     c.warmup = SimTime::from_ms(20);
     c.wakeup_weights = Some(vec![4, 1]);

@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: the offloaded thread scheduler end to
 //! end (paper §7.2), exercised through the `wave` façade.
 
+use wave::core::workload::WorkloadSpec;
 use wave::core::OptLevel;
 use wave::ghost::policies::{FifoPolicy, ShinjukuPolicy};
 use wave::ghost::sim::{Placement, SchedConfig, SchedSim, ServiceMix};
@@ -8,7 +9,7 @@ use wave::sim::SimTime;
 
 fn cfg(workers: u32, placement: Placement, opts: OptLevel, offered: f64) -> SchedConfig {
     let mut c = SchedConfig::new(workers, placement, opts);
-    c.offered = offered;
+    c.workload.set_offered(offered);
     c.duration = SimTime::from_ms(200);
     c.warmup = SimTime::from_ms(30);
     c
@@ -69,7 +70,7 @@ fn onhost_agent_has_lower_latency_offload_has_more_cores() {
 #[test]
 fn shinjuku_protects_gets_from_ranges() {
     let mut c = cfg(8, Placement::Offloaded, OptLevel::full(), 60_000.0);
-    c.mix = ServiceMix::paper_bimodal();
+    c.workload = WorkloadSpec::poisson(ServiceMix::paper_bimodal(), 60_000.0);
     let shinjuku = SchedSim::new(c.clone(), Box::new(ShinjukuPolicy::paper_default())).run();
     let fifo = SchedSim::new(c, Box::new(FifoPolicy::new())).run();
     // Run-to-completion FIFO lets 10 ms RANGEs inflate the GET tail;

@@ -9,6 +9,7 @@
 //! before the runtime extraction. Any drift here means the refactor
 //! changed simulation behavior, not just structure.
 
+use wave::core::workload::WorkloadSpec;
 use wave::core::OptLevel;
 use wave::ghost::policies::{FifoPolicy, ShinjukuPolicy};
 use wave::ghost::sim::{Placement, SchedConfig, SchedSim, ServiceMix};
@@ -16,7 +17,7 @@ use wave::sim::SimTime;
 
 fn cfg(workers: u32, placement: Placement, opts: OptLevel, offered: f64) -> SchedConfig {
     let mut c = SchedConfig::new(workers, placement, opts);
-    c.offered = offered;
+    c.workload.set_offered(offered);
     c.duration = SimTime::from_ms(200);
     c.warmup = SimTime::from_ms(20);
     c
@@ -62,7 +63,7 @@ fn one_agent_matches_pre_refactor_fifo_offloaded_full() {
 #[test]
 fn one_agent_matches_pre_refactor_shinjuku_bimodal() {
     let mut c = cfg(4, Placement::Offloaded, OptLevel::full(), 20_000.0);
-    c.mix = ServiceMix::paper_bimodal();
+    c.workload = WorkloadSpec::poisson(ServiceMix::paper_bimodal(), 20_000.0);
     let report = SchedSim::new(c, Box::new(ShinjukuPolicy::paper_default())).run();
     assert_golden(
         &report,
@@ -168,7 +169,7 @@ fn four_agents_steal_rebalance_off_matches_pre_shardmap_goldens() {
     let mut c = cfg(8, Placement::Offloaded, OptLevel::full(), 100_000.0);
     c.agents = 4;
     c.steal = true;
-    c.mix = ServiceMix::paper_bimodal();
+    c.workload = WorkloadSpec::poisson(ServiceMix::paper_bimodal(), 100_000.0);
     let report = SchedSim::with_policy_factory(c, |_| Box::new(FifoPolicy::new())).run();
     assert_eq!(report.completed, 17_285, "completed drifted");
     assert_eq!(report.latency.p99.as_ns(), 14_680_063, "p99 drifted");
@@ -220,7 +221,7 @@ fn four_agents_with_steal_are_deterministic_and_work_conserving() {
         let mut c = cfg(8, Placement::Offloaded, OptLevel::full(), 100_000.0);
         c.agents = 4;
         c.steal = steal;
-        c.mix = ServiceMix::paper_bimodal();
+        c.workload = WorkloadSpec::poisson(ServiceMix::paper_bimodal(), 100_000.0);
         SchedSim::with_policy_factory(c, |_| Box::new(FifoPolicy::new())).run()
     };
     let (a, b) = (run(true), run(true));

@@ -2,6 +2,7 @@
 //! simulation: millisecond-quantum scheduling of vCPU-like threads with
 //! an offloaded agent and no prestaging.
 
+use wave::core::workload::WorkloadSpec;
 use wave::core::OptLevel;
 use wave::ghost::policies::VmPolicy;
 use wave::ghost::policy::SchedPolicy;
@@ -29,8 +30,8 @@ fn vcpu_mix() -> ServiceMix {
 #[test]
 fn vm_policy_schedules_ms_scale_bursts_offloaded() {
     let mut cfg = SchedConfig::new(4, Placement::Offloaded, OptLevel::full());
-    cfg.mix = vcpu_mix();
-    cfg.offered = 150.0; // bursts/second across 4 cores ~ 70% load
+    // 150 bursts/second across 4 cores ~ 70% load.
+    cfg.workload = WorkloadSpec::poisson(vcpu_mix(), 150.0);
     cfg.duration = SimTime::from_secs(4);
     cfg.warmup = SimTime::from_ms(500);
     let policy = VmPolicy::paper_default();
@@ -58,8 +59,7 @@ fn vm_policy_offload_negligible_vs_onhost() {
     // when scheduling ms-scale workloads."
     let run = |placement| {
         let mut cfg = SchedConfig::new(4, placement, OptLevel::full());
-        cfg.mix = vcpu_mix();
-        cfg.offered = 120.0;
+        cfg.workload = WorkloadSpec::poisson(vcpu_mix(), 120.0);
         cfg.duration = SimTime::from_secs(4);
         cfg.warmup = SimTime::from_ms(500);
         SchedSim::new(cfg, Box::new(VmPolicy::paper_default())).run()
