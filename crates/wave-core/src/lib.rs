@@ -37,6 +37,13 @@
 //!   resource index to owning shard plus a pluggable, epoch-driven
 //!   [`shard_map::Rebalancer`], used by both sharded agents to move
 //!   cores/batches between shards when load counters stay skewed.
+//! * [`tenant`] — the multi-tenant service layer: a
+//!   [`tenant::TenantRegistry`] admits T tenants' agent bundles onto
+//!   one NIC with deficit-round-robin pump arbitration
+//!   ([`tenant::NicScheduler`]), per-tenant attribution on the shared
+//!   DMA engine, a bounded MSI-X vector table with degraded-polling
+//!   fallback on exhaustion, and a [`shard_map::FeedDemand`] rebalance
+//!   axis that moves NIC cores between tenants.
 //! * [`watchdog`] — the per-component on-host watchdog (§3.3: kill an
 //!   agent that has made no decision for >20 ms).
 //! * [`opts`] — the optimization toggles of §5.3/§5.4, used by every
@@ -52,6 +59,7 @@ pub mod channel;
 pub mod opts;
 pub mod runtime;
 pub mod shard_map;
+pub mod tenant;
 pub mod txn;
 pub mod watchdog;
 pub mod workload;
@@ -65,6 +73,9 @@ pub use runtime::{
 pub use shard_map::{
     FeedDemand, RebalanceConfig, RebalanceEvent, RebalancePolicy, Rebalancer, ResourceMove,
     ShardMap, ShedLoad,
+};
+pub use tenant::{
+    Arbitration, Grant, NicScheduler, TenantBinding, TenantId, TenantRegistry, TenantSpec,
 };
 pub use txn::{GenerationTable, ResourceRef, Txn, TxnId, TxnOutcome, TxnOutcomeRecord};
 pub use watchdog::Watchdog;

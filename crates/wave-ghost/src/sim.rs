@@ -162,6 +162,21 @@ pub struct SchedConfig {
     /// Extra per-decision agent cost, e.g. the OnHost-Schedule scenario's
     /// uncached MMIO reads of RPC headers living in SmartNIC memory.
     pub agent_decision_extra: SimTime,
+    /// Fraction of a NIC core's duty-cycle time this bundle receives,
+    /// in `(0, 1]`. Multi-tenant runs derate each tenant with its
+    /// arbitrated service share (`wave_core::tenant::
+    /// weighted_fair_shares` / `fifo_shares`): every unit of agent
+    /// compute is divided by the share, modeling the pump quanta spent
+    /// running the neighbors. The default `1.0` divides by one exactly
+    /// (IEEE: `x / 1.0 == x` bit-for-bit), so single-tenant runs are
+    /// untouched.
+    pub nic_share: f64,
+    /// `Some(grid)`: this tenant holds no MSI-X vectors (vector-table
+    /// exhaustion) and runs in degraded polling mode — staged decisions
+    /// are *not* kicked (the would-be interrupt is counted as
+    /// suppressed) and the host discovers them at the next multiple of
+    /// `grid`. `None` (the default) kicks normally.
+    pub poll_pickup: Option<SimTime>,
 }
 
 impl SchedConfig {
@@ -187,6 +202,8 @@ impl SchedConfig {
             interconnect: PcieConfig::pcie(),
             ingress: None,
             agent_decision_extra: SimTime::ZERO,
+            nic_share: 1.0,
+            poll_pickup: None,
         }
     }
 }
@@ -210,6 +227,9 @@ pub struct SchedReport {
     pub prestage_misses: u64,
     /// MSI-X interrupts sent.
     pub msix_sent: u64,
+    /// MSI-X interrupts suppressed (degraded polling mode: staged
+    /// decisions whose kick was withheld for a poll-grid pickup).
+    pub msix_suppressed: u64,
     /// Decisions the agents produced (all shards).
     pub agent_decisions: u64,
     /// Simulation events the DES engine executed for this run (engine
@@ -613,6 +633,7 @@ impl SchedSim {
             prestage_hits: hits,
             prestage_misses: misses,
             msix_sent: self.ic.msix.sent(),
+            msix_suppressed: self.ic.msix.suppressed(),
             agent_decisions: decisions,
             events_executed,
             per_agent_decisions,
@@ -761,7 +782,8 @@ impl SchedSim {
         let policy_ratio = self
             .cfg
             .cpu
-            .ratio(self.agent_core, WorkloadClass::ComputeBound);
+            .ratio(self.agent_core, WorkloadClass::ComputeBound)
+            / self.cfg.nic_share;
         // Policy bookkeeping words per handled event (run-queue nodes
         // etc.) pay the SoC mapping cost.
         for &msg in &msgs {
@@ -826,19 +848,10 @@ impl SchedSim {
                     && self.shards[si].policy.queue_depth() == 0
                     && self.steal_pick(now, si, cpu, &mut nic_cost));
             if have {
-                let d = self.ic.msix.send(
-                    now + nic_cost,
-                    MsixVector(cpu.0),
-                    MsixSendPath::Ioctl,
-                    if self.offloaded {
-                        wave_pcie::config::Side::Nic
-                    } else {
-                        wave_pcie::config::Side::Host
-                    },
-                );
-                nic_cost += d.sender_cpu;
+                let (sender_cpu, handler_at) = self.kick(now + nic_cost, cpu);
+                nic_cost += sender_cpu;
                 self.shards[si].rt.record_decision(now + nic_cost);
-                kicked.push((cpu, d.handler_at));
+                kicked.push((cpu, handler_at));
                 self.cores[c as usize] = CoreState::Idle { waiting: false };
             }
         }
@@ -905,8 +918,38 @@ impl SchedSim {
             ratio: self
                 .cfg
                 .cpu
-                .ratio(self.agent_core, WorkloadClass::ComputeBound),
+                .ratio(self.agent_core, WorkloadClass::ComputeBound)
+                / self.cfg.nic_share,
             extra: self.cfg.agent_decision_extra,
+        }
+    }
+
+    /// Notifies the host of a staged decision for `cpu`'s slot: an
+    /// MSI-X kick normally, or — in degraded polling mode
+    /// ([`SchedConfig::poll_pickup`], vector-table exhaustion) — a
+    /// suppressed interrupt whose pickup lands on the next poll-grid
+    /// boundary after `at`. Returns `(sender_cpu, handler_at)`, the
+    /// same pair the kick path reads off [`wave_pcie::MsixDelivery`].
+    fn kick(&mut self, at: SimTime, cpu: CpuId) -> (SimTime, SimTime) {
+        if let Some(grid) = self.cfg.poll_pickup {
+            self.ic.msix.suppress();
+            let g = grid.as_ns().max(1);
+            // Next strict grid boundary ≥ at (never "now": the poller
+            // visits, it is not interrupt-driven).
+            let aligned = at.as_ns().div_ceil(g).max(1) * g;
+            (SimTime::ZERO, SimTime::from_ns(aligned))
+        } else {
+            let d = self.ic.msix.send(
+                at,
+                MsixVector(cpu.0),
+                MsixSendPath::Ioctl,
+                if self.offloaded {
+                    wave_pcie::config::Side::Nic
+                } else {
+                    wave_pcie::config::Side::Host
+                },
+            );
+            (d.sender_cpu, d.handler_at)
         }
     }
 
@@ -1171,20 +1214,11 @@ impl SchedSim {
                 .rt
                 .stage_raw(now + nic_cost, &mut self.ic, slot, d);
         }
-        let d = self.ic.msix.send(
-            now + nic_cost,
-            MsixVector(cpu.0),
-            MsixSendPath::Ioctl,
-            if self.offloaded {
-                wave_pcie::config::Side::Nic
-            } else {
-                wave_pcie::config::Side::Host
-            },
-        );
-        nic_cost += d.sender_cpu;
+        let (sender_cpu, handler_at) = self.kick(now + nic_cost, cpu);
+        nic_cost += sender_cpu;
         self.shards[si].rt.record_decision(now + nic_cost);
         self.shards[si].rt.run_raw(now, nic_cost);
-        let at = d.handler_at;
+        let at = handler_at;
         sim.schedule(at, move |m: &mut SchedSim, s| {
             m.preempt_irq(s, cpu, tid, token, seg_start)
         });

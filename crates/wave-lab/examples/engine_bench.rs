@@ -6,8 +6,11 @@
 //!   budgets share a machine), and appends a dated history entry.
 //! * `-- --quick` — CI mode: quick-budget measurement gated against the
 //!   committed `quick_reference`. Exits nonzero if `sched_sim` falls
-//!   below 0.9× the committed quick rate; carries the committed
-//!   reference and history forward unchanged.
+//!   below 0.9× the committed quick rate, or if the tenancy-wrapped
+//!   `sched_sim_tenant` cell (same simulation, admitted through a
+//!   single-tenant registry) runs more than 5% slower than the plain
+//!   cell measured in the same run. Carries the committed reference
+//!   and history forward unchanged.
 
 use wave_lab::engine;
 
@@ -18,6 +21,11 @@ const GATE_WORKLOAD: &str = "sched_sim";
 /// Regression floor for the quick gate: quick-vs-quick comparison, so
 /// machine class largely cancels; 0.9 absorbs CI runner noise.
 const GATE_FLOOR: f64 = 0.9;
+
+/// Floor for the tenancy-overhead gate: the T=1 tenancy-wrapped
+/// deployment runs the bit-identical simulation, so its rate must stay
+/// within 5% of the plain `sched_sim` cell from the same run.
+const TENANT_FLOOR: f64 = 0.95;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -53,6 +61,21 @@ fn main() {
                 }
             }
             None => println!("quick gate: no committed quick reference; skipping"),
+        }
+        let plain = result.events_per_sec(GATE_WORKLOAD).unwrap_or(0.0);
+        let tenant = engine::run_one(&cfg, "sched_sim_tenant").expect("known workload");
+        let ratio = tenant.events_per_sec / plain.max(1.0);
+        println!(
+            "tenancy gate: sched_sim_tenant {:.1} ev/s vs sched_sim {plain:.1} \
+             ({ratio:.3}x, floor {TENANT_FLOOR})",
+            tenant.events_per_sec
+        );
+        if ratio < TENANT_FLOOR {
+            eprintln!(
+                "tenancy overhead regression: the T=1 wrapped deployment runs \
+                 more than 5% slower than the plain sched_sim cell"
+            );
+            std::process::exit(1);
         }
     } else {
         // Paper mode also measures the quick budgets so CI has a

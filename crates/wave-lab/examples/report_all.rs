@@ -5,7 +5,8 @@
 //! Run with: `cargo run --release -p wave-lab --example report_all`
 
 use wave_lab::{
-    engine, fig4, fig5, fig6, mem, mem_scaling, rebalance, scaling, table2, table3, traces, upi,
+    engine, fig4, fig5, fig6, mem, mem_scaling, rebalance, scaling, table2, table3, tenancy,
+    traces, upi,
 };
 
 fn main() {
@@ -26,6 +27,7 @@ fn main() {
     mem_scaling::report(&mem_scaling::MemScalingConfig::quick()).print();
     rebalance::report(&rebalance::RebalanceSweepConfig::quick()).print();
     traces::report(&traces::TracesConfig::quick()).print();
+    tenancy::report(&tenancy::TenancyConfig::quick()).print();
     let bench = engine::run(&engine::EngineBenchConfig::quick());
     engine::report_from(&bench).print();
     // Carry the committed quick_reference and history forward; this

@@ -31,7 +31,8 @@
 
 use std::time::Instant;
 
-use wave_core::OptLevel;
+use wave_core::tenant::Arbitration;
+use wave_core::{OptLevel, TenantRegistry, TenantSpec};
 use wave_ghost::policies::FifoPolicy;
 use wave_ghost::sim::{Placement, SchedConfig, SchedSim};
 use wave_kvstore::footprint::{AccessPattern, DbFootprint, FootprintConfig};
@@ -107,7 +108,9 @@ impl EngineBenchConfig {
 #[derive(Debug, Clone)]
 pub struct EngineRow {
     /// Workload id (`pure_engine`, `pure_engine_cancel`, `sched_sim`,
-    /// `sharded_sol`).
+    /// `sharded_sol`; `sched_sim_tenant` is measurable via [`run_one`]
+    /// for the tenancy-overhead gate but not part of the tracked
+    /// artifact rows).
     pub workload: &'static str,
     /// Simulation events executed (due-batch scans for `sharded_sol`).
     pub events: u64,
@@ -388,6 +391,31 @@ fn run_sched(cfg: &EngineBenchConfig) -> (u64, u64) {
     (report.events_executed, wall)
 }
 
+/// Runs the `sched_sim_tenant` workload — the `sched_sim` deployment
+/// admitted through a single-tenant [`TenantRegistry`] — and returns
+/// (events, wall). A lone tenant's `nic_share` is exactly 1.0 and its
+/// pickup stays interrupt-driven, so the simulated run is bit-identical
+/// to `sched_sim`; any events/sec delta against the plain cell is pure
+/// tenancy-wrapping overhead (the CI gate holds it under 5%).
+fn run_sched_tenant(cfg: &EngineBenchConfig) -> (u64, u64) {
+    let mut reg = TenantRegistry::new(Arbitration::WeightedFair, cfg.sched_workers as usize);
+    let id = reg.register(TenantSpec::new("solo", 1, cfg.sched_workers));
+    let demand = 0.5; // arbitrary < 1.0: a lone tenant keeps its demand
+    let share = reg.shares(&[demand])[0];
+    let mut sc = SchedConfig::new(cfg.sched_workers, Placement::Offloaded, OptLevel::full());
+    sc.duration = cfg.sched_duration;
+    sc.warmup = SimTime::from_ms(5);
+    sc.workload
+        .set_offered(cfg.sched_workers as f64 * 100_000.0 * 1.2);
+    sc.nic_share = (share / demand).min(1.0);
+    sc.poll_pickup = reg.poll_pickup(id);
+    let sim = SchedSim::new(sc, Box::new(FifoPolicy::new()));
+    let t0 = Instant::now();
+    let report = sim.run();
+    let wall = t0.elapsed().as_nanos() as u64;
+    (report.events_executed, wall)
+}
+
 /// Runs the `sharded_sol` workload and returns (events, wall), where one
 /// "event" is one due-batch scan.
 fn run_sharded_sol(cfg: &EngineBenchConfig) -> (u64, u64) {
@@ -437,6 +465,7 @@ pub fn run_one(cfg: &EngineBenchConfig, workload: &str) -> Option<EngineRow> {
             run_pure_cancel(cfg.pure_timers, cfg.pure_events),
         ),
         "sched_sim" => ("sched_sim", run_sched(cfg)),
+        "sched_sim_tenant" => ("sched_sim_tenant", run_sched_tenant(cfg)),
         "sharded_sol" => ("sharded_sol", run_sharded_sol(cfg)),
         _ => return None,
     };
@@ -597,6 +626,24 @@ mod tests {
         let v1 = "{\n  \"schema\": \"wave-engine-bench/v1\",\n  \"workloads\": []\n}\n";
         assert!(extract_quick_reference(v1).is_empty());
         assert!(extract_history(v1).is_empty());
+    }
+
+    #[test]
+    fn tenant_wrapped_sched_sim_runs_the_identical_simulation() {
+        // The overhead gate compares wall-clock rates, which only
+        // makes sense if both cells execute the same event stream:
+        // the T=1 wrapping must not change the simulation at all.
+        let cfg = EngineBenchConfig {
+            pure_events: 1,
+            pure_timers: 1,
+            sched_duration: SimTime::from_ms(10),
+            sched_workers: 4,
+            sol_iterations: 1,
+            sol_scale: 0.05,
+        };
+        let plain = run_one(&cfg, "sched_sim").expect("known workload");
+        let tenant = run_one(&cfg, "sched_sim_tenant").expect("known workload");
+        assert_eq!(plain.events, tenant.events, "wrapping changed the sim");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`mem_scaling`] | §6 scale-out — SOL iteration duration vs shard count |
 //! | [`rebalance`] | dynamic shard rebalancing under skewed load, both agents |
 //! | [`traces`] | trace-driven production workloads (diurnal/bursty/heavy-tailed), both agents |
+//! | [`tenancy`] | multi-tenant NIC — victim p99 isolation under a flooding neighbor |
 //! | [`engine`] | engine throughput — sim-events/sec, tracked in `BENCH_engine.json` |
 //!
 //! Independent load points run in parallel on `std::thread` workers
@@ -38,6 +39,7 @@ pub mod report;
 pub mod scaling;
 pub mod table2;
 pub mod table3;
+pub mod tenancy;
 pub mod traces;
 pub mod upi;
 

@@ -60,11 +60,20 @@
 //! (the default) the map never changes and every result is
 //! bit-identical to the static partition.
 //!
+//! Faults and rebalancing compose: a killed shard's batches are *lent*
+//! to the live siblings through the same map-commit + adopt-replay
+//! path, rebalance epochs keep running with the corpse masked out of
+//! the planner ([`Rebalancer::run_epoch_masked`]), and a restart
+//! reclaims each lent batch from whichever shard holds it at that
+//! moment.
+//!
 //! [`AgentRuntime`]: wave_core::runtime::AgentRuntime
 
 use rand::rngs::SmallRng;
 use wave_core::runtime::shard_range;
-use wave_core::shard_map::{RebalanceConfig, RebalanceEvent, Rebalancer, ShardMap, ShedLoad};
+use wave_core::shard_map::{
+    RebalanceConfig, RebalanceEvent, Rebalancer, ResourceMove, ShardMap, ShedLoad,
+};
 use wave_core::workload::{MemPhase, MemPhaseSource};
 use wave_kvstore::DbFootprint;
 use wave_pcie::Interconnect;
@@ -185,6 +194,10 @@ pub struct ShardedSolRunner {
     /// Dynamic batch rebalancing, when enabled
     /// ([`ShardedSolRunner::with_rebalance`]).
     rebalancer: Option<Rebalancer>,
+    /// Per shard: the batch ids lent to live siblings while the shard
+    /// is dead (empty while alive). [`ShardedSolRunner::restart_shard`]
+    /// reclaims them from whichever shard holds each one by then.
+    lent: Vec<Vec<usize>>,
     /// A phase pulled from the source but not yet due — buffered so the
     /// pull-based [`MemPhaseSource`] is only advanced once per phase.
     pending_phase: Option<MemPhase>,
@@ -229,6 +242,7 @@ impl ShardedSolRunner {
             })
             .collect();
         let map = ShardMap::contiguous(total_batches, shards.len() as u32);
+        let lent = vec![Vec::new(); shards.len()];
         ShardedSolRunner {
             shards,
             cfg,
@@ -238,6 +252,7 @@ impl ShardedSolRunner {
             last_epoch: SimTime::ZERO,
             map,
             rebalancer: None,
+            lent,
             pending_phase: None,
             phases_applied: 0,
         }
@@ -400,23 +415,22 @@ impl ShardedSolRunner {
     /// [`SolPolicy::adopt_batches`] (fresh prior, due immediately) on
     /// the recipient. Each shard's runner rebuilds its runtime and slot
     /// slice to the new size on its next iteration. Returns the epoch's
-    /// event, or `None` when rebalancing is off, the epoch has not
-    /// elapsed, or any shard is dead (ownership never moves onto or off
-    /// a corpse — the watchdog/restart path owns that slice until it is
-    /// back).
+    /// event, or `None` when rebalancing is off or the epoch has not
+    /// elapsed. Dead shards do not pause the epoch clock: they are
+    /// masked out of the skew gate and the plan
+    /// ([`Rebalancer::run_epoch_masked`]) — ownership never moves onto
+    /// or off a corpse, but the live majority keeps rebalancing.
     pub fn maybe_rebalance(&mut self, now: SimTime) -> Option<RebalanceEvent> {
-        if self.shards.iter().any(|sh| !sh.alive) {
-            return None;
-        }
         let rb = self.rebalancer.as_mut()?;
         if !rb.epoch_due(now) {
             return None;
         }
+        let alive: Vec<bool> = self.shards.iter().map(|sh| sh.alive).collect();
         for (i, sh) in self.shards.iter_mut().enumerate() {
             let load = sh.runner.runtime_mut().map_or(0, |rt| rt.take_load());
             rb.record(i as u32, load);
         }
-        let event = rb.run_epoch(now, &mut self.map).clone();
+        let event = rb.run_epoch_masked(now, &mut self.map, &alive).clone();
         // Group the epoch's moves per shard so the policy-side Vec
         // surgery is one batched call per donor/recipient.
         let n = self.shards.len();
@@ -478,21 +492,59 @@ impl ShardedSolRunner {
     }
 
     /// Kills shard `i` — the watchdog path (§3.3): the agent stops
-    /// polling and its batch slice goes unmanaged until
-    /// [`restart_shard`]. Other shards are unaffected; that containment
-    /// is the point of the partition. Decisions the shard had already
-    /// shipped remain with the host; slots were drained atomically by
-    /// the last `dma_out`, so nothing is stranded in SmartNIC DRAM.
+    /// polling. Its batch slice does not go unmanaged, though: the
+    /// corpse's batches are **lent** to the live siblings (round-robin,
+    /// committed through the [`ShardMap`] like any other ownership
+    /// change), and each recipient adopts its share with a fresh prior
+    /// exactly as a rebalance recipient would — due at its next scan.
+    /// [`restart_shard`] reclaims the lent batches from whoever holds
+    /// them then. With no live sibling (K=1) the slice stays with the
+    /// corpse and is unmanaged until restart. Decisions the shard had
+    /// already shipped remain with the host; slots were drained
+    /// atomically by the last `dma_out`, so nothing is stranded in
+    /// SmartNIC DRAM.
     ///
     /// [`restart_shard`]: ShardedSolRunner::restart_shard
     pub fn kill_shard(&mut self, i: u32) {
-        let sh = &mut self.shards[i as usize];
-        sh.alive = false;
-        if let Some(rt) = sh.runner.runtime_mut() {
-            let agent = rt.agent_mut();
-            agent.crash();
-            agent.kill();
+        {
+            let sh = &mut self.shards[i as usize];
+            sh.alive = false;
+            if let Some(rt) = sh.runner.runtime_mut() {
+                let agent = rt.agent_mut();
+                agent.crash();
+                agent.kill();
+            }
         }
+        let live: Vec<u32> = (0..self.shards.len() as u32)
+            .filter(|&s| s != i && self.shards[s as usize].alive)
+            .collect();
+        let ids: Vec<usize> = self.map.resources_of(i).collect();
+        if live.is_empty() || ids.is_empty() {
+            return;
+        }
+        let moves: Vec<ResourceMove> = ids
+            .iter()
+            .enumerate()
+            .map(|(k, &resource)| ResourceMove {
+                resource,
+                from: i,
+                to: live[k % live.len()],
+            })
+            .collect();
+        self.map.commit(&moves);
+        // The corpse's policy is not asked to release anything — it is
+        // frozen (run() short-circuits on !alive) and rebuilt from
+        // scratch at restart; the map commit is the ownership truth.
+        let mut adopted: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for m in &moves {
+            adopted[m.to as usize].push(m.resource);
+        }
+        for (s, a) in adopted.into_iter().enumerate() {
+            if !a.is_empty() {
+                self.shards[s].policy.adopt_batches(&a);
+            }
+        }
+        self.lent[i as usize] = ids;
     }
 
     /// Restarts shard `i` at `now` following the paper's §6 "keep fault
@@ -504,7 +556,38 @@ impl ShardedSolRunner {
     /// re-ships the migration decisions a mid-epoch crash may have
     /// cost, from the page tables (the source of truth), not from any
     /// agent-side journal.
+    ///
+    /// Batches lent out by [`kill_shard`] come home first: each is
+    /// reclaimed from whichever shard holds it *now* — an interim
+    /// rebalance epoch may have moved a lent batch onward, so the
+    /// reclaim asks the map for the current owner rather than trusting
+    /// the kill-time plan.
+    ///
+    /// [`kill_shard`]: ShardedSolRunner::kill_shard
     pub fn restart_shard(&mut self, i: u32, now: SimTime) {
+        let lent = std::mem::take(&mut self.lent[i as usize]);
+        let mut moves = Vec::with_capacity(lent.len());
+        let mut released: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for &b in &lent {
+            let holder = self.map.owner(b);
+            if holder == i {
+                continue;
+            }
+            moves.push(ResourceMove {
+                resource: b,
+                from: holder,
+                to: i,
+            });
+            released[holder as usize].push(b);
+        }
+        if !moves.is_empty() {
+            self.map.commit(&moves);
+        }
+        for (s, r) in released.into_iter().enumerate() {
+            if !r.is_empty() {
+                self.shards[s].policy.release_batches(&r);
+            }
+        }
         let ids = self.shard_batches(i);
         let sh = &mut self.shards[i as usize];
         sh.alive = true;
@@ -741,7 +824,7 @@ mod tests {
     }
 
     #[test]
-    fn rebalance_pauses_while_a_shard_is_dead() {
+    fn rebalance_epochs_keep_firing_while_a_shard_is_dead() {
         let fp = skewed_world();
         let mut k2 = ShardedSolRunner::new(
             RunnerConfig::paper(CoreClass::NicArm, 16),
@@ -756,11 +839,50 @@ mod tests {
         ));
         k2.run_iteration(&fp, SimTime::ZERO);
         k2.kill_shard(1);
-        // Ownership must not move onto (or off) a corpse.
-        assert!(k2.maybe_rebalance(SimTime::from_ms(600)).is_none());
+        // The epoch fires with the corpse masked out. With a single
+        // live shard there is nobody to trade with, so the event
+        // records an empty plan — but the clock does not pause.
+        let e = k2
+            .maybe_rebalance(SimTime::from_ms(600))
+            .expect("epoch fires while a shard is down");
+        assert!(e.moves.is_empty(), "one live shard: nobody to trade with");
         k2.restart_shard(1, SimTime::from_ms(1_200));
         k2.run_iteration(&fp, SimTime::from_ms(1_200));
         assert!(k2.maybe_rebalance(SimTime::from_ms(1_200)).is_some());
+    }
+
+    #[test]
+    fn dead_shard_lends_its_slice_and_reclaims_on_restart() {
+        let fp = world(0.001);
+        let mut k2 = sharded(&fp, 2);
+        k2.run_iteration(&fp, SimTime::ZERO);
+        let slice1 = k2.shard_batches(1);
+
+        k2.kill_shard(1);
+        // The corpse owns nothing; the live sibling adopted the slice...
+        assert!(k2.shard_batches(1).is_empty());
+        assert_eq!(k2.shard_batches(0).len(), fp.batches());
+        // ...and scans it on the very next iteration (adopted batches
+        // are due immediately), so no batch goes unmanaged.
+        let (stats, _) = k2.run_iteration(&fp, SimTime::from_ms(600));
+        assert!(
+            stats.scanned as usize >= slice1.len(),
+            "adopted batches rescanned: {} < {}",
+            stats.scanned,
+            slice1.len()
+        );
+
+        // Restart: the lent batches come home, and the fresh prior
+        // covers exactly the original slice.
+        k2.restart_shard(1, SimTime::from_ms(1_200));
+        assert_eq!(k2.shard_batches(1), slice1);
+        assert_eq!(
+            k2.shard_batches(0).len() + slice1.len(),
+            fp.batches(),
+            "no batch lost or duplicated across the cycle"
+        );
+        let (stats, _) = k2.run_iteration(&fp, SimTime::from_ms(1_200));
+        assert!(stats.scanned as usize >= slice1.len());
     }
 
     #[test]

@@ -50,9 +50,11 @@ pub mod pte;
 pub mod soc;
 
 pub use config::{InterconnectKind, PcieConfig};
-pub use dma::{DmaDirection, DmaEngine, DmaMode, DmaTransfer};
+pub use dma::{
+    DmaArbiter, DmaDirection, DmaEngine, DmaMode, DmaRequest, DmaTransfer, TenantDmaStats,
+};
 pub use mmio::{HostMmio, LineAddr, ReadOutcome, RegionId, WriteOutcome};
-pub use msix::{MsixController, MsixDelivery, MsixSendPath, MsixVector};
+pub use msix::{MsixController, MsixDelivery, MsixSendPath, MsixVector, MsixVectorTable};
 pub use pte::PteType;
 pub use soc::{NicSoc, SocPteMode};
 

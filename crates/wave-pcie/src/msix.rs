@@ -108,6 +108,100 @@ impl MsixController {
     }
 }
 
+/// The device's bounded MSI-X vector space.
+///
+/// Real NICs expose a fixed vector table (Mount Evans: low thousands,
+/// but carved up per PF/VF — a tenant's slice is small). With T tenants
+/// each wanting one vector per worker core, the table is a genuinely
+/// exhaustible resource: allocation is first-free, a tenant's bundle
+/// allocates all-or-nothing, and a tenant that cannot get vectors falls
+/// back to *degraded polling* (the host discovers decisions on a poll
+/// grid instead of being kicked — see the tenant registry). Teardown
+/// releases the whole slice so a later tenant can claim it.
+#[derive(Debug, Clone)]
+pub struct MsixVectorTable {
+    owner: Vec<Option<u32>>,
+}
+
+impl MsixVectorTable {
+    /// Creates a table with `capacity` vectors, all free.
+    pub fn new(capacity: usize) -> Self {
+        MsixVectorTable {
+            owner: vec![None; capacity],
+        }
+    }
+
+    /// Total vector count.
+    pub fn capacity(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Vectors currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.owner.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Vectors currently free.
+    pub fn available(&self) -> usize {
+        self.capacity() - self.in_use()
+    }
+
+    /// Whether the table has no free vector left.
+    pub fn exhausted(&self) -> bool {
+        self.available() == 0
+    }
+
+    /// Allocates the lowest free vector to `owner`.
+    pub fn alloc(&mut self, owner: u32) -> Option<MsixVector> {
+        let i = self.owner.iter().position(|o| o.is_none())?;
+        self.owner[i] = Some(owner);
+        Some(MsixVector(i as u32))
+    }
+
+    /// Allocates `n` vectors to `owner`, all-or-nothing: a tenant bundle
+    /// needs one vector per worker core, and a partial set is useless —
+    /// it would still have to poll for the uncovered cores.
+    pub fn alloc_block(&mut self, owner: u32, n: usize) -> Option<Vec<MsixVector>> {
+        if self.available() < n {
+            return None;
+        }
+        Some(
+            (0..n)
+                .map(|_| self.alloc(owner).expect("counted"))
+                .collect(),
+        )
+    }
+
+    /// Frees one vector. Returns whether it was allocated.
+    pub fn release(&mut self, v: MsixVector) -> bool {
+        match self.owner.get_mut(v.0 as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Frees every vector held by `owner` (tenant teardown). Returns how
+    /// many were released.
+    pub fn release_owner(&mut self, owner: u32) -> usize {
+        let mut freed = 0;
+        for slot in &mut self.owner {
+            if *slot == Some(owner) {
+                *slot = None;
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// Who owns a vector, if anyone.
+    pub fn owner_of(&self, v: MsixVector) -> Option<u32> {
+        self.owner.get(v.0 as usize).copied().flatten()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +254,44 @@ mod tests {
         ctl.suppress();
         assert_eq!(ctl.suppressed(), 2);
         assert_eq!(ctl.sent(), 0);
+    }
+
+    #[test]
+    fn vector_table_allocates_first_free_and_releases() {
+        let mut tbl = MsixVectorTable::new(4);
+        assert_eq!(tbl.available(), 4);
+        let a = tbl.alloc(0).unwrap();
+        let b = tbl.alloc(1).unwrap();
+        assert_eq!((a, b), (MsixVector(0), MsixVector(1)));
+        assert_eq!(tbl.owner_of(a), Some(0));
+        assert!(tbl.release(a), "allocated vector releases");
+        assert!(!tbl.release(a), "double release is a no-op");
+        // First-free policy reuses the hole.
+        assert_eq!(tbl.alloc(2), Some(MsixVector(0)));
+        assert_eq!(tbl.in_use(), 2);
+    }
+
+    #[test]
+    fn block_allocation_is_all_or_nothing() {
+        let mut tbl = MsixVectorTable::new(8);
+        let t0 = tbl.alloc_block(0, 6).unwrap();
+        assert_eq!(t0.len(), 6);
+        // Tenant 1 wants 4; only 2 remain — nothing is consumed.
+        assert!(tbl.alloc_block(1, 4).is_none());
+        assert_eq!(tbl.available(), 2, "failed block left the table intact");
+        assert!(tbl.alloc_block(1, 2).is_some());
+        assert!(tbl.exhausted());
+    }
+
+    #[test]
+    fn teardown_releases_a_tenants_whole_slice() {
+        let mut tbl = MsixVectorTable::new(8);
+        tbl.alloc_block(0, 3).unwrap();
+        tbl.alloc_block(1, 3).unwrap();
+        assert_eq!(tbl.release_owner(0), 3);
+        assert_eq!(tbl.in_use(), 3, "tenant 1 untouched");
+        assert_eq!(tbl.release_owner(0), 0, "second teardown frees nothing");
+        // The freed slice is claimable by a new tenant.
+        assert_eq!(tbl.alloc_block(2, 5).map(|v| v.len()), Some(5));
     }
 }

@@ -164,6 +164,81 @@ fn watchdog_kills_one_memory_shard_and_host_replays_unshipped_flips() {
 }
 
 #[test]
+fn rebalance_keeps_running_masked_through_a_kill_restart_cycle() {
+    // Faults and rebalancing compose. The front third of the batch
+    // space is ambivalent (rescans every period) — shard 0's slice,
+    // exactly — while the rest goes quiet, so shard 0 of 3 does most
+    // of the scan work. Kill the quietest shard mid-run and the
+    // deployment must (a) lend the corpse's slice to the live pair so
+    // no batch goes unmanaged, (b) keep running rebalance epochs with
+    // the corpse masked out of the planner, and (c) hand the slice
+    // back on restart — even if an interim epoch moved a lent batch
+    // onward (the ShedLoad planner moves the donor's highest-index
+    // batches first, which after the lending *are* lent batches).
+    use wave::core::RebalanceConfig;
+    let fp = DbFootprint::new(
+        FootprintConfig::skewed(0.001, 0.34),
+        AccessPattern::Scattered,
+        3,
+    );
+    let mut sharded = ShardedSolRunner::new(
+        RunnerConfig::paper(CoreClass::NicArm, 16),
+        CpuModel::mount_evans(),
+        3,
+        SolConfig::paper(),
+        fp.batches(),
+        4,
+    )
+    .with_rebalance(RebalanceConfig::every(SimTime::from_ms(600)));
+
+    sharded.run_iteration(&fp, SimTime::ZERO);
+    let slice2 = sharded.shard_batches(2);
+    assert!(!slice2.is_empty());
+
+    // Watchdog kills shard 2; its slice is lent to the live pair.
+    sharded.kill_shard(2);
+    assert!(sharded.shard_batches(2).is_empty(), "corpse owns nothing");
+    assert_eq!(
+        sharded.shard_batches(0).len() + sharded.shard_batches(1).len(),
+        fp.batches(),
+        "the live pair covers the whole batch space"
+    );
+
+    // Rebalance epochs keep firing with the corpse masked out, and the
+    // persistent skew between the live pair still gets acted on.
+    let mut moved = 0usize;
+    for it in 1..=6u64 {
+        let t = SimTime::from_ms(600 * it);
+        sharded.run_iteration(&fp, t);
+        let e = sharded
+            .maybe_rebalance(t)
+            .expect("epochs continue while a shard is down");
+        assert!(
+            e.moves.iter().all(|m| m.from != 2 && m.to != 2),
+            "ownership never moves onto or off the corpse: {:?}",
+            e.moves
+        );
+        moved += e.moves.len();
+    }
+    assert!(moved > 0, "the live pair still rebalances");
+
+    // Restart: every lent batch comes home — reclaimed from whichever
+    // shard holds it now — and the partition is exact again.
+    let t_restart = SimTime::from_ms(4_200);
+    sharded.restart_shard(2, t_restart);
+    assert_eq!(sharded.shard_batches(2), slice2, "the slice came home");
+    let total: usize = (0..3).map(|s| sharded.shard_batches(s).len()).sum();
+    assert_eq!(total, fp.batches(), "no batch lost or duplicated");
+    let (stats, _) = sharded.run_iteration(&fp, t_restart);
+    assert!(
+        stats.scanned as usize >= slice2.len(),
+        "restart rescans the reclaimed slice"
+    );
+    // The restarted shard rejoins the rebalancing pool.
+    assert!(sharded.maybe_rebalance(t_restart).is_some());
+}
+
+#[test]
 fn stale_transactions_fail_cleanly_across_restart() {
     // A decision staged by the dead agent against state that changed
     // while it was down must fail validation — never corrupt the kernel.
