@@ -1,0 +1,233 @@
+//! Two-tier fat-tree fabric model.
+//!
+//! The fleet's hosts hang off per-rack ToR switches; the frontdoor (load
+//! balancer + load generator) sits at the spine tier, so every
+//! request/response crosses exactly two links each way:
+//!
+//! ```text
+//!                 spine  (frontdoor)
+//!               /   |   \            uplink: latency + uplink_ser,
+//!             ToR  ToR  ToR          ONE shared queue per rack+direction
+//!            /|\   /|\   /|\         host link: latency + host_ser,
+//!           h h h h h h h h h        one queue per host+direction
+//! ```
+//!
+//! Each unidirectional link is a serialization queue: a message occupies
+//! the link for its serialization time, back-to-back messages queue
+//! behind each other, and propagation latency is added on top. Because
+//! every rack multiplexes `hosts_per_rack` hosts over a single uplink
+//! queue, setting `uplink_ser` ≥ `host_ser` models oversubscription: the
+//! rack uplink saturates before the host links do, exactly the fat-tree
+//! contention the fabric is meant to exhibit.
+//!
+//! The fabric implements [`Transit`] so the conservative executor can use
+//! [`min_latency`](FabricConfig::min_latency) — the unloaded one-way
+//! minimum, which queueing can only increase — as its lookahead window.
+
+use wave_sim::fleet::{Outbound, Transit};
+use wave_sim::SimTime;
+
+use crate::node::FleetMsg;
+
+/// Fat-tree shape and per-link costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Hosts per ToR switch (rack). The last rack may be partial.
+    pub hosts_per_rack: u32,
+    /// Propagation + switching delay of a host↔ToR link.
+    pub host_link: SimTime,
+    /// Propagation + switching delay of a ToR↔spine uplink.
+    pub uplink: SimTime,
+    /// Serialization time per message on a host link.
+    pub host_ser: SimTime,
+    /// Serialization time per message on a rack uplink (shared by the
+    /// whole rack — the oversubscription knob).
+    pub uplink_ser: SimTime,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        Self::datacenter()
+    }
+}
+
+impl FabricConfig {
+    /// A conventional datacenter fabric: 16 hosts/rack, ~1 µs host
+    /// links, ~2 µs spine hops, 3:1-ish oversubscribed uplinks.
+    pub fn datacenter() -> Self {
+        FabricConfig {
+            hosts_per_rack: 16,
+            host_link: SimTime::from_ns(1_000),
+            uplink: SimTime::from_ns(2_000),
+            host_ser: SimTime::from_ns(40),
+            uplink_ser: SimTime::from_ns(120),
+        }
+    }
+
+    /// The unloaded one-way frontdoor↔host latency. Queueing only adds
+    /// delay on top, so this lower bound is a sound conservative
+    /// lookahead for the parallel executor.
+    pub fn min_latency(&self) -> SimTime {
+        self.host_link + self.host_ser + self.uplink + self.uplink_ser
+    }
+
+    /// Rack index of a host.
+    pub fn rack_of(&self, host: u32) -> usize {
+        (host / self.hosts_per_rack) as usize
+    }
+}
+
+/// Per-direction queue state of every link in the tree.
+///
+/// `deliver_at` is called serially at each window barrier in
+/// deterministic `(sent, src, seq)` order (the executor sorts), so plain
+/// `busy_until` scalars per link reproduce FIFO queueing exactly and the
+/// whole fabric stays bit-identical for any worker count.
+#[derive(Debug, Clone)]
+pub struct FatTreeFabric {
+    cfg: FabricConfig,
+    /// Index of the frontdoor node (== number of hosts).
+    frontdoor: u32,
+    /// spine→ToR downlink per rack.
+    rack_down: Vec<SimTime>,
+    /// ToR→spine uplink per rack.
+    rack_up: Vec<SimTime>,
+    /// ToR→host link per host.
+    host_down: Vec<SimTime>,
+    /// host→ToR link per host.
+    host_up: Vec<SimTime>,
+    /// Messages carried (telemetry).
+    carried: u64,
+}
+
+impl FatTreeFabric {
+    /// Builds the fabric for `hosts` hosts; node index `hosts` is the
+    /// frontdoor at the spine.
+    pub fn new(cfg: FabricConfig, hosts: u32) -> Self {
+        assert!(cfg.hosts_per_rack > 0, "rack must hold at least one host");
+        let racks = hosts.div_ceil(cfg.hosts_per_rack) as usize;
+        FatTreeFabric {
+            cfg,
+            frontdoor: hosts,
+            rack_down: vec![SimTime::ZERO; racks],
+            rack_up: vec![SimTime::ZERO; racks],
+            host_down: vec![SimTime::ZERO; hosts as usize],
+            host_up: vec![SimTime::ZERO; hosts as usize],
+            carried: 0,
+        }
+    }
+
+    /// The fabric's configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Messages carried so far.
+    pub fn carried(&self) -> u64 {
+        self.carried
+    }
+
+    /// One hop over a serialization queue: wait for the link, hold it
+    /// for `ser`, then propagate for `lat`. Returns the arrival time at
+    /// the far end.
+    fn hop(busy: &mut SimTime, depart: SimTime, ser: SimTime, lat: SimTime) -> SimTime {
+        let start = depart.max(*busy);
+        *busy = start + ser;
+        start + ser + lat
+    }
+}
+
+impl Transit<FleetMsg> for FatTreeFabric {
+    fn deliver_at(&mut self, src: u32, send: &Outbound<FleetMsg>) -> SimTime {
+        self.carried += 1;
+        let cfg = self.cfg;
+        if src == self.frontdoor {
+            // Down: spine → ToR (shared rack queue) → host.
+            let host = send.dst as usize;
+            let rack = cfg.rack_of(send.dst);
+            let at_tor = Self::hop(
+                &mut self.rack_down[rack],
+                send.sent,
+                cfg.uplink_ser,
+                cfg.uplink,
+            );
+            Self::hop(
+                &mut self.host_down[host],
+                at_tor,
+                cfg.host_ser,
+                cfg.host_link,
+            )
+        } else {
+            // Up: host → ToR → spine (shared rack queue).
+            debug_assert_eq!(send.dst, self.frontdoor, "hosts only talk to the frontdoor");
+            let host = src as usize;
+            let rack = cfg.rack_of(src);
+            let at_tor = Self::hop(
+                &mut self.host_up[host],
+                send.sent,
+                cfg.host_ser,
+                cfg.host_link,
+            );
+            Self::hop(&mut self.rack_up[rack], at_tor, cfg.uplink_ser, cfg.uplink)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_sim::fleet::Outbound;
+
+    fn send(sent_ns: u64, dst: u32) -> Outbound<FleetMsg> {
+        Outbound {
+            sent: SimTime::from_ns(sent_ns),
+            dst,
+            msg: FleetMsg::Request {
+                emit: SimTime::from_ns(sent_ns),
+                task: wave_core::workload::Task::new(
+                    SimTime::from_us(10),
+                    wave_core::workload::SloClass::DEFAULT,
+                ),
+            },
+        }
+    }
+
+    #[test]
+    fn unloaded_delivery_equals_min_latency() {
+        let cfg = FabricConfig::datacenter();
+        let mut fab = FatTreeFabric::new(cfg, 32);
+        let fd = 32;
+        let down = fab.deliver_at(fd, &send(0, 7));
+        assert_eq!(down, cfg.min_latency());
+        let mut fab = FatTreeFabric::new(cfg, 32);
+        let up = fab.deliver_at(7, &send(0, fd));
+        assert_eq!(up, cfg.min_latency());
+    }
+
+    #[test]
+    fn shared_rack_uplink_queues_but_distinct_racks_do_not() {
+        let cfg = FabricConfig::datacenter();
+        // Same rack (hosts 0 and 1): second message queues behind the
+        // first on the spine→ToR downlink.
+        let mut fab = FatTreeFabric::new(cfg, 32);
+        let a = fab.deliver_at(32, &send(0, 0));
+        let b = fab.deliver_at(32, &send(0, 1));
+        assert_eq!(b, a + cfg.uplink_ser);
+        // Different racks (hosts 0 and 16): no shared queue at all.
+        let mut fab = FatTreeFabric::new(cfg, 32);
+        let a = fab.deliver_at(32, &send(0, 0));
+        let b = fab.deliver_at(32, &send(0, 16));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn queueing_never_beats_min_latency() {
+        let cfg = FabricConfig::datacenter();
+        let mut fab = FatTreeFabric::new(cfg, 8);
+        for i in 0..100u64 {
+            let sent = i * 13;
+            let at = fab.deliver_at(8, &send(sent, (i % 8) as u32));
+            assert!(at >= SimTime::from_ns(sent) + cfg.min_latency());
+        }
+    }
+}

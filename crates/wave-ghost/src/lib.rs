@@ -45,5 +45,7 @@ pub use arena::{ThreadQueue, ThreadRun, ThreadTable};
 pub use cost::CostModel;
 pub use msg::{CpuId, SchedMsg, SchedMsgKind, Tid};
 pub use policy::{SchedPolicy, SloClass, ThreadMeta};
-pub use sim::{Placement, SchedConfig, SchedReport, SchedSim, ServiceMix};
+pub use sim::{
+    HostCompletion, Placement, SchedConfig, SchedReport, SchedSim, SchedStepper, ServiceMix,
+};
 pub use slots::{DecisionSlots, SlotDecision};

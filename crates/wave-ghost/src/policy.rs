@@ -44,7 +44,12 @@ impl ThreadMeta {
 /// queue-touching method takes the table. The table is shared state the
 /// simulation owns; a policy may only link/unlink threads through its
 /// own queues and read the rows' scheduling fields.
-pub trait SchedPolicy {
+///
+/// Policies must be `Send`: the fleet executor migrates whole hosts —
+/// policy instances included — across its worker threads between
+/// windows (each host is still only ever touched by one thread at a
+/// time).
+pub trait SchedPolicy: Send {
     /// Human-readable policy name (for reports).
     fn name(&self) -> &'static str;
 

@@ -250,6 +250,10 @@ pub struct SchedReport {
     pub rebalance: Vec<RebalanceEvent>,
     /// Diagnostic counters (kick/commit pathology analysis).
     pub diag: Diag,
+    /// Request latency quantile ladder ([`wave_sim::stats::QUANTILE_LADDER`]
+    /// probes of the full histogram), for CDF-style reporting. Empty when
+    /// no request completed inside the measured window.
+    pub latency_cdf: Vec<(f64, SimTime)>,
 }
 
 /// Diagnostic counters for the scheduling paths.
@@ -403,6 +407,10 @@ pub struct SchedSim {
     lat_by_phase: Vec<Histogram>,
     completed_measured: u64,
     dropped: u64,
+    /// When set (fleet mode), every terminal request outcome is appended
+    /// to `completions` for the fleet driver to drain window by window.
+    log_completions: bool,
+    completions: Vec<HostCompletion>,
     agent_core: CoreClass,
     offloaded: bool,
     diag: Diag,
@@ -559,6 +567,8 @@ impl SchedSim {
             },
             completed_measured: 0,
             dropped: 0,
+            log_completions: false,
+            completions: Vec::new(),
             agent_core,
             offloaded,
             diag: Diag::default(),
@@ -597,7 +607,20 @@ impl SchedSim {
     }
 
     /// Runs the experiment to completion and reports.
-    pub fn run(mut self) -> SchedReport {
+    pub fn run(self) -> SchedReport {
+        let mut stepper = self.into_stepper();
+        let duration = stepper.model.cfg.duration;
+        stepper.advance(duration);
+        stepper.finish()
+    }
+
+    /// Converts the model into a windowed stepper: the first arrival and
+    /// the rebalance epoch are armed exactly as [`SchedSim::run`] would,
+    /// but the caller drives time forward in bounded windows — the form
+    /// the fleet executor needs to run many hosts in parallel.
+    /// `run()` is literally `into_stepper` + one full-duration `advance`
+    /// + `finish`, so single-host behavior is bit-identical.
+    pub fn into_stepper(mut self) -> SchedStepper {
         let mut sim: S = Sim::new();
         sim.set_horizon(self.cfg.duration);
         // The source announces the first arrival (open-loop generators:
@@ -610,46 +633,7 @@ impl SchedSim {
                 m.rebalance_epoch(s)
             });
         }
-        sim.run(&mut self);
-        let events_executed = sim.executed();
-        let window = self.cfg.duration - self.cfg.warmup;
-        let achieved = self.completed_measured as f64 / window.as_secs_f64();
-        let (mut hits, mut misses, mut decisions) = (0u64, 0u64, 0u64);
-        let mut per_agent_decisions = Vec::with_capacity(self.shards.len());
-        for sh in &self.shards {
-            let (h, m) = sh.rt.slots_ref().hit_miss();
-            hits += h;
-            misses += m;
-            decisions += sh.rt.decisions();
-            per_agent_decisions.push(sh.rt.decisions());
-        }
-        self.diag.outstanding_at_end = self.outstanding as u64;
-        SchedReport {
-            offered: self.cfg.workload.offered(),
-            achieved,
-            latency: self.lat.summary(),
-            completed: self.completed_measured,
-            dropped: self.dropped,
-            prestage_hits: hits,
-            prestage_misses: misses,
-            msix_sent: self.ic.msix.sent(),
-            msix_suppressed: self.ic.msix.suppressed(),
-            agent_decisions: decisions,
-            events_executed,
-            per_agent_decisions,
-            latency_by_class: self
-                .lat_by_class
-                .iter()
-                .map(|(&c, h)| (SloClass(c), h.summary()))
-                .collect(),
-            latency_by_phase: self.lat_by_phase.iter().map(|h| h.summary()).collect(),
-            rebalance: self
-                .rebalancer
-                .as_ref()
-                .map(|r| r.history().to_vec())
-                .unwrap_or_default(),
-            diag: self.diag,
-        }
+        SchedStepper { sim, model: self }
     }
 
     // --- Load generation -------------------------------------------------
@@ -692,6 +676,28 @@ impl SchedSim {
     }
 
     fn admit(&mut self, sim: &mut S, wire_arrival: SimTime, task: Task) {
+        let now = sim.now();
+        self.admit_at(sim, now, wire_arrival, task);
+    }
+
+    /// An arrival injected from outside the host (fleet mode): same
+    /// overload guard and admission path as [`SchedSim::arrival`], but
+    /// the task came over the fabric instead of from the local source,
+    /// and `wire_arrival` carries the fleet client's emission stamp so
+    /// recorded latency spans the forward network path too.
+    fn external_arrival(&mut self, sim: &mut S, wire_arrival: SimTime, task: Task) {
+        if self.outstanding >= self.cfg.max_outstanding {
+            self.dropped += 1;
+            if self.log_completions {
+                self.completions.push(HostCompletion {
+                    arrival: wire_arrival,
+                    finished: sim.now(),
+                    slo: task.slo,
+                    rejected: true,
+                });
+            }
+            return;
+        }
         let now = sim.now();
         self.admit_at(sim, now, wire_arrival, task);
     }
@@ -1306,6 +1312,14 @@ impl SchedSim {
         self.gen.remove(tid.0);
         self.threads.remove(tid);
         self.outstanding -= 1;
+        if self.log_completions {
+            self.completions.push(HostCompletion {
+                arrival,
+                finished: now,
+                slo,
+                rejected: false,
+            });
+        }
         if arrival >= self.cfg.warmup && now <= self.cfg.duration {
             self.lat.record_time(now - arrival);
             self.lat_by_class
@@ -1369,6 +1383,118 @@ impl SchedSim {
                 self.cores[cpu.0 as usize] = CoreState::Idle { waiting: true };
                 self.schedule_agent_pump(sim, si, msg_visible);
             }
+        }
+    }
+}
+
+/// One request's terminal outcome on a host, drained window by window by
+/// a fleet driver ([`SchedStepper::drain_completions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostCompletion {
+    /// The wire-arrival stamp latency was measured from. For injected
+    /// requests this is the fleet client's emission time, so downstream
+    /// latency accounting covers the forward network path.
+    pub arrival: SimTime,
+    /// Local virtual time the request finished (or was rejected).
+    pub finished: SimTime,
+    /// The request's SLO class.
+    pub slo: SloClass,
+    /// `true` when the overload guard shed the request instead of
+    /// running it.
+    pub rejected: bool,
+}
+
+/// A [`SchedSim`] paused between time windows.
+///
+/// Produced by [`SchedSim::into_stepper`]; the fleet executor drives many
+/// of these in lock-step windows, injecting fabric arrivals with
+/// [`inject`](Self::inject) and draining [`HostCompletion`]s at each
+/// window barrier. `SchedSim::run` is exactly `into_stepper` + one
+/// full-duration `advance` + `finish`, so stepping never perturbs
+/// single-host results.
+pub struct SchedStepper {
+    sim: S,
+    model: SchedSim,
+}
+
+impl SchedStepper {
+    /// Runs the host's event loop up to and including `horizon`, and
+    /// returns how many events executed in this window.
+    pub fn advance(&mut self, horizon: SimTime) -> u64 {
+        self.sim.set_horizon(horizon);
+        self.sim.run(&mut self.model)
+    }
+
+    /// The host's local virtual clock.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Enables per-request completion logging (fleet mode). Off by
+    /// default: a standalone run has no driver to drain the log.
+    pub fn set_completion_log(&mut self, on: bool) {
+        self.model.log_completions = on;
+    }
+
+    /// Schedules an external (fabric-delivered) arrival at local time
+    /// `at`. `wire_arrival` is the stamp latency is measured from —
+    /// fleet drivers pass the client's emission time so the recorded
+    /// latency includes the forward network hop.
+    pub fn inject(&mut self, at: SimTime, wire_arrival: SimTime, task: Task) {
+        self.sim.schedule(at, move |m: &mut SchedSim, s| {
+            m.external_arrival(s, wire_arrival, task)
+        });
+    }
+
+    /// Moves the completions logged since the last drain into `out`
+    /// (appending; `out` is not cleared).
+    pub fn drain_completions(&mut self, out: &mut Vec<HostCompletion>) {
+        out.append(&mut self.model.completions);
+    }
+
+    /// Finishes the run and assembles the [`SchedReport`], exactly as
+    /// [`SchedSim::run`] would.
+    pub fn finish(self) -> SchedReport {
+        let SchedStepper { sim, mut model } = self;
+        let events_executed = sim.executed();
+        let window = model.cfg.duration - model.cfg.warmup;
+        let achieved = model.completed_measured as f64 / window.as_secs_f64();
+        let (mut hits, mut misses, mut decisions) = (0u64, 0u64, 0u64);
+        let mut per_agent_decisions = Vec::with_capacity(model.shards.len());
+        for sh in &model.shards {
+            let (h, m) = sh.rt.slots_ref().hit_miss();
+            hits += h;
+            misses += m;
+            decisions += sh.rt.decisions();
+            per_agent_decisions.push(sh.rt.decisions());
+        }
+        model.diag.outstanding_at_end = model.outstanding as u64;
+        SchedReport {
+            offered: model.cfg.workload.offered(),
+            achieved,
+            latency: model.lat.summary(),
+            completed: model.completed_measured,
+            dropped: model.dropped,
+            prestage_hits: hits,
+            prestage_misses: misses,
+            msix_sent: model.ic.msix.sent(),
+            msix_suppressed: model.ic.msix.suppressed(),
+            agent_decisions: decisions,
+            events_executed,
+            per_agent_decisions,
+            latency_by_class: model
+                .lat_by_class
+                .iter()
+                .map(|(&c, h)| (SloClass(c), h.summary()))
+                .collect(),
+            latency_by_phase: model.lat_by_phase.iter().map(|h| h.summary()).collect(),
+            rebalance: model
+                .rebalancer
+                .as_ref()
+                .map(|r| r.history().to_vec())
+                .unwrap_or_default(),
+            latency_cdf: model.lat.ladder(),
+            diag: model.diag,
         }
     }
 }

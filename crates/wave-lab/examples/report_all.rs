@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release -p wave-lab --example report_all`
 
 use wave_lab::{
-    engine, fig4, fig5, fig6, mem, mem_scaling, rebalance, scaling, table2, table3, tenancy,
+    engine, fig4, fig5, fig6, fleet, mem, mem_scaling, rebalance, scaling, table2, table3, tenancy,
     traces, upi,
 };
 
@@ -28,6 +28,7 @@ fn main() {
     rebalance::report(&rebalance::RebalanceSweepConfig::quick()).print();
     traces::report(&traces::TracesConfig::quick()).print();
     tenancy::report(&tenancy::TenancyConfig::quick()).print();
+    fleet::report(&fleet::FleetSweepConfig::quick()).print();
     let bench = engine::run(&engine::EngineBenchConfig::quick());
     engine::report_from(&bench).print();
     // Carry the committed quick_reference and history forward; this
@@ -39,6 +40,7 @@ fn main() {
         quick_reference: engine::extract_quick_reference(&committed),
         history: engine::extract_history(&committed),
         result: bench,
+        cores: engine::bench_cores(),
     };
     engine::write_bench_json(path, &artifact).expect("write BENCH_engine.json");
     println!("wrote {}", path.display());

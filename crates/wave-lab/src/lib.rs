@@ -23,6 +23,7 @@
 //! | [`traces`] | trace-driven production workloads (diurnal/bursty/heavy-tailed), both agents |
 //! | [`tenancy`] | multi-tenant NIC — victim p99 isolation under a flooding neighbor |
 //! | [`engine`] | engine throughput — sim-events/sec, tracked in `BENCH_engine.json` |
+//! | [`fleet`] | fleet-scale parallel execution — a simulated datacenter of Wave hosts |
 //!
 //! Independent load points run in parallel on `std::thread` workers
 //! ([`par::par_map`]); each point is its own deterministic simulation.
@@ -31,6 +32,7 @@ pub mod engine;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod fleet;
 pub mod mem;
 pub mod mem_scaling;
 pub mod par;
@@ -43,4 +45,4 @@ pub mod tenancy;
 pub mod traces;
 pub mod upi;
 
-pub use report::{PaperRow, Report};
+pub use report::{LatencyCdf, PaperRow, Report};

@@ -43,7 +43,7 @@ use wave_pcie::config::Side;
 use wave_pcie::{DmaArbiter, DmaDirection, DmaMode, Interconnect};
 use wave_sim::SimTime;
 
-use crate::report::{PaperRow, Report};
+use crate::report::{LatencyCdf, PaperRow, Report};
 
 /// Sweep configuration.
 #[derive(Debug, Clone)]
@@ -133,6 +133,9 @@ pub struct TenantCell {
     /// This tenant's fraction of total DMA queueing delay on the
     /// shared engine.
     pub dma_queue_share: f64,
+    /// Full scheduling-latency quantile ladder (the standard
+    /// [`LatencyCdf`] block the report renders for the victim).
+    pub cdf: LatencyCdf,
 }
 
 /// One (T, arbitration) sweep point.
@@ -261,6 +264,12 @@ pub fn run_point(cfg: &TenancyConfig, tenants: u32, weighted: bool, capacity: f6
             sc.poll_pickup = reg.poll_pickup(id);
             let rep = SchedSim::new(sc, Box::new(FifoPolicy::new())).run();
             let degraded = reg.binding(id).is_some_and(|b| b.degraded);
+            let label = if n > 1 && i + 1 == n {
+                format!("T={tenants} flooder")
+            } else {
+                format!("T={tenants} tenant{i}")
+            };
+            let cdf = LatencyCdf::from_ladder(label, &rep.latency_cdf);
             TenantCell {
                 tenant: i as u32,
                 demand: d[i],
@@ -276,6 +285,7 @@ pub fn run_point(cfg: &TenancyConfig, tenants: u32, weighted: bool, capacity: f6
                 msix_sent: rep.msix_sent,
                 msix_suppressed: rep.msix_suppressed,
                 dma_queue_share: 0.0,
+                cdf,
             }
         })
         .collect();
@@ -408,6 +418,9 @@ pub fn report(cfg: &TenancyConfig) -> Report {
                 "T={t_max} cores after FeedDemand epochs: {:?}",
                 p.cores
             ));
+            if !p.cells[0].cdf.is_empty() {
+                r.block(p.cells[0].cdf.render());
+            }
         }
         if let Some(p) = res.point(t_max, false) {
             let dropped: u64 = p.cells.iter().map(|c| c.dropped).sum();
@@ -565,5 +578,8 @@ mod tests {
         assert!(!r.rows.is_empty());
         let text = r.render();
         assert!(text.contains("victim"));
+        // The victim's quantile-ladder CDF rides along as a block.
+        assert!(text.contains("latency CDF"), "missing CDF block:\n{text}");
+        assert!(text.contains("p99.9"));
     }
 }

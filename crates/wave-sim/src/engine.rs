@@ -75,7 +75,7 @@ impl EventId {
     }
 }
 
-type BoxedEvent<M> = Box<dyn FnOnce(&mut M, &mut Sim<M>)>;
+type BoxedEvent<M> = Box<dyn FnOnce(&mut M, &mut Sim<M>) + Send>;
 
 /// Virtual nanoseconds covered by one wheel slot.
 const GRANULARITY_SHIFT: u32 = 7;
@@ -282,6 +282,15 @@ pub struct Sim<M> {
     pool: pool::ClosurePool,
 }
 
+// SAFETY: `Sim` is only non-`Send` automatically because the slab and
+// closure pool traffic in raw `*mut u8` blocks. Those blocks are owned
+// exclusively by this instance (allocated, consumed, and freed through
+// `&mut self` only; nothing aliases or escapes), and every payload
+// written into them is a closure the `schedule` bounds require to be
+// `Send`. Moving the whole engine to another thread — which the fleet
+// executor does when pool workers claim hosts — is therefore sound.
+unsafe impl<M> Send for Sim<M> {}
+
 impl<M> Default for Sim<M> {
     fn default() -> Self {
         Self::new()
@@ -369,7 +378,7 @@ impl<M> Sim<M> {
     /// the current event never panic.
     pub fn schedule<F>(&mut self, at: SimTime, action: F) -> EventId
     where
-        F: FnOnce(&mut M, &mut Sim<M>) + 'static,
+        F: FnOnce(&mut M, &mut Sim<M>) + Send + 'static,
     {
         let at = at.max(self.now);
         let seq = self.seq;
@@ -420,7 +429,7 @@ impl<M> Sim<M> {
     /// Schedules `action` at `now + delay`.
     pub fn schedule_in<F>(&mut self, delay: SimTime, action: F) -> EventId
     where
-        F: FnOnce(&mut M, &mut Sim<M>) + 'static,
+        F: FnOnce(&mut M, &mut Sim<M>) + Send + 'static,
     {
         self.schedule(self.now + delay, action)
     }
@@ -908,33 +917,33 @@ mod tests {
     /// running at all; drop-count checked explicitly here).
     #[test]
     fn drop_releases_unfired_closures() {
-        use std::rc::Rc;
-        let witness = Rc::new(());
+        use std::sync::Arc;
+        let witness = Arc::new(());
         {
             let mut sim: Sim<Log> = Sim::new();
-            let w1 = Rc::clone(&witness);
-            let w2 = Rc::clone(&witness);
+            let w1 = Arc::clone(&witness);
+            let w2 = Arc::clone(&witness);
             let big = [0u8; 400];
             sim.schedule(SimTime::from_ns(1), move |_, _| drop(w1));
             sim.schedule(SimTime::from_ns(2), move |_, _| {
                 let _ = big;
                 drop(w2);
             });
-            assert_eq!(Rc::strong_count(&witness), 3);
+            assert_eq!(Arc::strong_count(&witness), 3);
         }
-        assert_eq!(Rc::strong_count(&witness), 1, "closures dropped with Sim");
+        assert_eq!(Arc::strong_count(&witness), 1, "closures dropped with Sim");
     }
 
     /// Cancellation drops the closure immediately (not lazily at pop).
     #[test]
     fn cancel_drops_closure_eagerly() {
-        use std::rc::Rc;
-        let witness = Rc::new(());
+        use std::sync::Arc;
+        let witness = Arc::new(());
         let mut sim: Sim<Log> = Sim::new();
-        let w = Rc::clone(&witness);
+        let w = Arc::clone(&witness);
         let id = sim.schedule(SimTime::from_ns(5), move |_, _| drop(w));
-        assert_eq!(Rc::strong_count(&witness), 2);
+        assert_eq!(Arc::strong_count(&witness), 2);
         sim.cancel(id);
-        assert_eq!(Rc::strong_count(&witness), 1, "dropped at cancel time");
+        assert_eq!(Arc::strong_count(&witness), 1, "dropped at cancel time");
     }
 }

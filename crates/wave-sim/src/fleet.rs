@@ -1,0 +1,716 @@
+//! Conservative parallel discrete-event execution across many hosts.
+//!
+//! The single-host engine ([`crate::engine::Sim`]) drains one event heap
+//! on one logical clock. Simulating a *datacenter* of Wave hosts needs N
+//! such clocks, and the only way to advance them on multiple OS threads
+//! without a global lock is the classic conservative (Chandy–Misra-style)
+//! recipe: as long as every cross-host message takes at least `L` of
+//! virtual time to arrive, a host executing events in the window
+//! `[w, w + L)` can never receive a message it should already have seen —
+//! anything sent during the window lands at `sent + latency ≥ w + L`,
+//! i.e. in a later window. `L` is the *lookahead*.
+//!
+//! [`FleetExecutor`] advances all hosts window by window:
+//!
+//! 1. **Deliver**: pending cross-host messages whose delivery time falls
+//!    inside the next window are moved into each destination's inbox in
+//!    ascending `(time, src_host, seq)` order.
+//! 2. **Advance** (parallel): workers claim hosts and drain each host's
+//!    events up to the window horizon via [`FleetHost::advance`]; sends
+//!    are buffered per host, never applied directly.
+//! 3. **Barrier** (serial): outboxes are collected in host-index order,
+//!    stamped with per-source sequence numbers, routed through the
+//!    [`Transit`] model (which may add queueing delay on top of the
+//!    minimum latency), and pushed onto the pending heap.
+//!
+//! Because the per-host advance is deterministic given its inbox, and
+//! both the delivery order and the barrier collection order are fixed by
+//! `(time, src, seq)` rather than by thread completion order, the fleet
+//! result is **bit-identical for any worker count** — `workers = 1` is
+//! the sequential reference the tests pin the parallel runs against.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::time::SimTime;
+
+/// A cross-host message in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Delivery timestamp at the destination (assigned by [`Transit`]).
+    pub at: SimTime,
+    /// Sending host index.
+    pub src: u32,
+    /// Per-source emission sequence number: the executor stamps each
+    /// host's sends in emission order, so `(at, src, seq)` totally
+    /// orders every message in the fleet independent of worker count.
+    pub seq: u64,
+    /// Destination host index.
+    pub dst: u32,
+    /// Payload.
+    pub msg: M,
+}
+
+/// A buffered send: when it left the source host, where it is going,
+/// and what it carries. The [`Transit`] model turns this into a
+/// delivery time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outbound<M> {
+    /// Local virtual time the message left the sender.
+    pub sent: SimTime,
+    /// Destination host index.
+    pub dst: u32,
+    /// Payload.
+    pub msg: M,
+}
+
+/// One logical host: a self-contained event loop that can be advanced
+/// to a horizon and exchanges messages with the rest of the fleet only
+/// through its inbox/outbox.
+pub trait FleetHost: Send {
+    /// Cross-host message payload.
+    type Msg: std::marker::Send;
+
+    /// Advances local virtual time to `horizon`.
+    ///
+    /// `inbox` holds this window's deliveries in ascending
+    /// `(at, src, seq)` order; the host must process each at its `at`
+    /// timestamp (e.g. by scheduling it into its local [`crate::Sim`])
+    /// and drain the buffer. Cross-host sends are pushed onto `outbox`
+    /// in emission order with `sent` equal to the local send time;
+    /// `sent` must lie within the window being advanced.
+    ///
+    /// Returns the number of events executed this window (engine
+    /// throughput accounting).
+    fn advance(
+        &mut self,
+        horizon: SimTime,
+        inbox: &mut Vec<Envelope<Self::Msg>>,
+        outbox: &mut Vec<Outbound<Self::Msg>>,
+    ) -> u64;
+}
+
+/// Maps a buffered send to its delivery time at the destination.
+///
+/// Runs single-threaded at the window barrier in deterministic
+/// `(sent, src, seq)` order, so implementations may keep mutable
+/// queueing state (per-link `busy_until` and the like). The contract a
+/// conservative run relies on: the returned time is at least
+/// `sent + lookahead` (the executor asserts it).
+pub trait Transit<M> {
+    /// Delivery time of `send` leaving host `src`.
+    fn deliver_at(&mut self, src: u32, send: &Outbound<M>) -> SimTime;
+}
+
+/// Zero-queueing transit: a constant latency on every path.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformTransit {
+    /// One-way latency between any two hosts.
+    pub latency: SimTime,
+}
+
+impl<M> Transit<M> for UniformTransit {
+    fn deliver_at(&mut self, _src: u32, send: &Outbound<M>) -> SimTime {
+        send.sent + self.latency
+    }
+}
+
+/// Pending-heap entry ordered by `(at, src, seq)` (a min-heap via
+/// `Reverse`-free manual ordering: we invert the comparison).
+struct Pend<M>(Envelope<M>);
+
+impl<M> PartialEq for Pend<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.at, self.0.src, self.0.seq) == (other.0.at, other.0.src, other.0.seq)
+    }
+}
+impl<M> Eq for Pend<M> {}
+impl<M> PartialOrd for Pend<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pend<M> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Inverted: BinaryHeap is a max-heap, we want earliest first.
+        (other.0.at, other.0.src, other.0.seq).cmp(&(self.0.at, self.0.src, self.0.seq))
+    }
+}
+
+/// Per-host cell: the host plus its window buffers, behind a mutex so
+/// pool workers can claim hosts by index. Claims are unique per window
+/// (an atomic cursor hands out each index once), so the lock is always
+/// uncontended — it exists to make the aliasing safe, not to arbitrate.
+struct Cell<H: FleetHost> {
+    host: H,
+    inbox: Vec<Envelope<H::Msg>>,
+    outbox: Vec<Outbound<H::Msg>>,
+    events: u64,
+}
+
+/// Aggregate statistics of one [`FleetExecutor::run_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetExecStats {
+    /// Windows executed (barrier count).
+    pub windows: u64,
+    /// Events executed across all hosts (sum of [`FleetHost::advance`]
+    /// returns).
+    pub events: u64,
+    /// Cross-host messages delivered.
+    pub messages: u64,
+}
+
+/// The conservative windowed executor: N hosts, one logical clock each,
+/// advanced in lookahead-wide windows by a bounded worker pool.
+pub struct FleetExecutor<H: FleetHost> {
+    cells: Vec<Mutex<Cell<H>>>,
+    lookahead: SimTime,
+    workers: usize,
+    now: SimTime,
+    pending: BinaryHeap<Pend<H::Msg>>,
+    /// Per-source emission counters for deterministic `seq` stamping.
+    emit_seq: Vec<u64>,
+    /// Scratch for barrier-time collection, sorted by `(sent, src, seq)`.
+    collect: Vec<(u32, u64, Outbound<H::Msg>)>,
+    stats: FleetExecStats,
+}
+
+impl<H: FleetHost> FleetExecutor<H> {
+    /// Builds an executor over `hosts` with the given lookahead (the
+    /// minimum cross-host latency) and worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is empty, `lookahead` is zero, or `workers`
+    /// is zero.
+    pub fn new(hosts: Vec<H>, lookahead: SimTime, workers: usize) -> Self {
+        assert!(!hosts.is_empty(), "fleet needs at least one host");
+        assert!(
+            lookahead > SimTime::ZERO,
+            "conservative execution needs nonzero lookahead"
+        );
+        assert!(workers >= 1, "need at least one worker");
+        let n = hosts.len();
+        FleetExecutor {
+            cells: hosts
+                .into_iter()
+                .map(|host| {
+                    Mutex::new(Cell {
+                        host,
+                        inbox: Vec::new(),
+                        outbox: Vec::new(),
+                        events: 0,
+                    })
+                })
+                .collect(),
+            lookahead,
+            workers,
+            now: SimTime::ZERO,
+            pending: BinaryHeap::new(),
+            emit_seq: vec![0; n],
+            collect: Vec::new(),
+            stats: FleetExecStats::default(),
+        }
+    }
+
+    /// The window width (minimum cross-host latency).
+    pub fn lookahead(&self) -> SimTime {
+        self.lookahead
+    }
+
+    /// Current fleet virtual time (the last window barrier).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> FleetExecStats {
+        self.stats
+    }
+
+    /// Seeds a message before the run starts (initial stimuli for toy
+    /// fleets; the src counter is stamped like a barrier collection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dst` are out of range or `at` is in the past.
+    pub fn seed_message(&mut self, at: SimTime, src: u32, dst: u32, msg: H::Msg) {
+        assert!((src as usize) < self.cells.len() && (dst as usize) < self.cells.len());
+        assert!(at >= self.now, "cannot seed a message in the past");
+        let seq = self.emit_seq[src as usize];
+        self.emit_seq[src as usize] += 1;
+        self.pending.push(Pend(Envelope {
+            at,
+            src,
+            seq,
+            dst,
+            msg,
+        }));
+    }
+
+    /// Runs windows until fleet time reaches `end`, routing cross-host
+    /// sends through `transit`. May be called repeatedly to extend a
+    /// run; statistics accumulate.
+    pub fn run_until<T: Transit<H::Msg>>(
+        &mut self,
+        end: SimTime,
+        transit: &mut T,
+    ) -> FleetExecStats {
+        if self.workers == 1 {
+            self.run_sequential(end, transit);
+        } else {
+            self.run_parallel(end, transit);
+        }
+        self.stats
+    }
+
+    /// Consumes the executor, returning the hosts in index order.
+    pub fn into_hosts(self) -> Vec<H> {
+        self.cells
+            .into_iter()
+            .map(|c| c.into_inner().expect("no poisoned host cells").host)
+            .collect()
+    }
+
+    /// The workers = 1 reference: same window/barrier structure, no
+    /// threads, hosts advanced in index order.
+    fn run_sequential<T: Transit<H::Msg>>(&mut self, end: SimTime, transit: &mut T) {
+        while self.now < end {
+            let horizon = (self.now + self.lookahead).min(end);
+            deliver_due(&self.cells, &mut self.pending, &mut self.stats, horizon);
+            for cell in &self.cells {
+                let mut cell = cell.lock().expect("no poisoned host cells");
+                let Cell {
+                    host,
+                    inbox,
+                    outbox,
+                    events,
+                } = &mut *cell;
+                *events += host.advance(horizon, inbox, outbox);
+            }
+            collect_outboxes(
+                &self.cells,
+                &mut self.pending,
+                &mut self.emit_seq,
+                &mut self.collect,
+                &mut self.stats,
+                self.lookahead,
+                horizon,
+                transit,
+            );
+            self.now = horizon;
+            self.stats.windows += 1;
+        }
+    }
+
+    /// The parallel path: persistent pool workers fork/join on two
+    /// barriers per window, claiming hosts through an atomic cursor.
+    fn run_parallel<T: Transit<H::Msg>>(&mut self, end: SimTime, transit: &mut T) {
+        let workers = self.workers.min(self.cells.len());
+        let start = Barrier::new(workers + 1);
+        let done = Barrier::new(workers + 1);
+        let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let horizon_ns = AtomicU64::new(0);
+        // Split borrows: workers share &cells; the control thread keeps
+        // the pending heap, counters, and transit to itself.
+        let FleetExecutor {
+            cells,
+            lookahead,
+            now,
+            pending,
+            emit_seq,
+            collect,
+            stats,
+            ..
+        } = self;
+        let cells: &[Mutex<Cell<H>>] = cells;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    start.wait();
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let horizon = SimTime::from_ns(horizon_ns.load(Ordering::Acquire));
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells.len() {
+                            break;
+                        }
+                        let mut cell = cells[i].lock().expect("no poisoned host cells");
+                        let Cell {
+                            host,
+                            inbox,
+                            outbox,
+                            events,
+                        } = &mut *cell;
+                        *events += host.advance(horizon, inbox, outbox);
+                    }
+                    done.wait();
+                });
+            }
+            while *now < end {
+                let horizon = (*now + *lookahead).min(end);
+                deliver_due(cells, pending, stats, horizon);
+                cursor.store(0, Ordering::Relaxed);
+                horizon_ns.store(horizon.as_ns(), Ordering::Release);
+                start.wait();
+                done.wait();
+                collect_outboxes(
+                    cells, pending, emit_seq, collect, stats, *lookahead, horizon, transit,
+                );
+                *now = horizon;
+                stats.windows += 1;
+            }
+            stop.store(true, Ordering::Release);
+            start.wait();
+        });
+    }
+}
+
+/// Pops every pending message due before `horizon` into the destination
+/// inboxes, in global `(at, src, seq)` order.
+fn deliver_due<H: FleetHost>(
+    cells: &[Mutex<Cell<H>>],
+    pending: &mut BinaryHeap<Pend<H::Msg>>,
+    stats: &mut FleetExecStats,
+    horizon: SimTime,
+) {
+    while let Some(p) = pending.peek() {
+        if p.0.at >= horizon {
+            break;
+        }
+        let e = pending.pop().expect("peeked").0;
+        stats.messages += 1;
+        cells[e.dst as usize]
+            .lock()
+            .expect("no poisoned host cells")
+            .inbox
+            .push(e);
+    }
+}
+
+/// Barrier: collects every host's buffered sends in deterministic
+/// order, routes them through `transit`, and enqueues deliveries.
+#[allow(clippy::too_many_arguments)]
+fn collect_outboxes<H: FleetHost, T: Transit<H::Msg>>(
+    cells: &[Mutex<Cell<H>>],
+    pending: &mut BinaryHeap<Pend<H::Msg>>,
+    emit_seq: &mut [u64],
+    scratch: &mut Vec<(u32, u64, Outbound<H::Msg>)>,
+    stats: &mut FleetExecStats,
+    lookahead: SimTime,
+    horizon: SimTime,
+    transit: &mut T,
+) {
+    scratch.clear();
+    for (src, cell) in cells.iter().enumerate() {
+        let mut cell = cell.lock().expect("no poisoned host cells");
+        stats.events += std::mem::take(&mut cell.events);
+        for send in cell.outbox.drain(..) {
+            let seq = emit_seq[src];
+            emit_seq[src] += 1;
+            scratch.push((src as u32, seq, send));
+        }
+    }
+    // Physical queueing order: the fabric sees messages in send-time
+    // order, ties broken by (src, seq) — deterministic and identical
+    // for every worker count.
+    scratch.sort_by_key(|(src, seq, s)| (s.sent, *src, *seq));
+    for (src, seq, send) in scratch.drain(..) {
+        let at = transit.deliver_at(src, &send);
+        assert!(
+            at >= send.sent + lookahead,
+            "transit violated the lookahead contract: sent {} delivered {} lookahead {}",
+            send.sent,
+            at,
+            lookahead
+        );
+        // Events at exactly the horizon run inside the window, so a
+        // send stamped `horizon` is legal.
+        debug_assert!(
+            send.sent <= horizon,
+            "host emitted a send from beyond its window"
+        );
+        pending.push(Pend(Envelope {
+            at,
+            src,
+            seq,
+            dst: send.dst,
+            msg: send.msg,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sim;
+
+    /// splitmix64 finalizer — the toy hosts' deterministic mixer.
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct ToyMsg {
+        value: u64,
+        ttl: u32,
+    }
+
+    /// Toy host model: every delivery folds `(src, value, time)` into an
+    /// accumulator and, while TTL remains, emits a follow-up message to
+    /// a state-derived destination after a state-derived extra delay.
+    struct ToyModel {
+        n: u32,
+        acc: u64,
+        log: Vec<u64>,
+        out: Vec<Outbound<ToyMsg>>,
+    }
+
+    impl ToyModel {
+        fn deliver(&mut self, now: SimTime, src: u32, m: ToyMsg) {
+            self.acc = mix(self.acc ^ mix(src as u64) ^ m.value ^ now.as_ns());
+            self.log.push(self.acc);
+            if m.ttl > 0 {
+                let dst = (self.acc >> 8) as u32 % self.n;
+                self.out.push(Outbound {
+                    sent: now,
+                    dst,
+                    msg: ToyMsg {
+                        value: mix(self.acc),
+                        ttl: m.ttl - 1,
+                    },
+                });
+            }
+        }
+    }
+
+    /// A toy host running on the real timer-wheel engine: deliveries are
+    /// scheduled into a local `Sim` and drained window by window.
+    struct ToyHost {
+        sim: Sim<ToyModel>,
+        model: ToyModel,
+    }
+
+    impl ToyHost {
+        fn new(idx: u32, n: u32) -> Self {
+            ToyHost {
+                sim: Sim::new(),
+                model: ToyModel {
+                    n,
+                    acc: mix(idx as u64),
+                    log: Vec::new(),
+                    out: Vec::new(),
+                },
+            }
+        }
+    }
+
+    impl FleetHost for ToyHost {
+        type Msg = ToyMsg;
+
+        fn advance(
+            &mut self,
+            horizon: SimTime,
+            inbox: &mut Vec<Envelope<ToyMsg>>,
+            outbox: &mut Vec<Outbound<ToyMsg>>,
+        ) -> u64 {
+            for e in inbox.drain(..) {
+                let (src, msg) = (e.src, e.msg);
+                self.sim
+                    .schedule(e.at, move |m: &mut ToyModel, s: &mut Sim<ToyModel>| {
+                        m.deliver(s.now(), src, msg)
+                    });
+            }
+            self.sim.set_horizon(horizon);
+            let executed = self.sim.run(&mut self.model);
+            outbox.append(&mut self.model.out);
+            executed
+        }
+    }
+
+    /// The naive reference: one global heap over all hosts' deliveries,
+    /// popped in `(time, src, seq)` order — the merged-clock semantics
+    /// the windowed executor must reproduce exactly.
+    fn reference_run(
+        n: u32,
+        seeds: &[(SimTime, u32, u32, ToyMsg)],
+        transit: &mut impl Transit<ToyMsg>,
+        end: SimTime,
+    ) -> Vec<Vec<u64>> {
+        let mut models: Vec<ToyModel> = (0..n)
+            .map(|i| ToyModel {
+                n,
+                acc: mix(i as u64),
+                log: Vec::new(),
+                out: Vec::new(),
+            })
+            .collect();
+        let mut heap: BinaryHeap<Pend<ToyMsg>> = BinaryHeap::new();
+        let mut emit_seq = vec![0u64; n as usize];
+        for &(at, src, dst, msg) in seeds {
+            let seq = emit_seq[src as usize];
+            emit_seq[src as usize] += 1;
+            heap.push(Pend(Envelope {
+                at,
+                src,
+                seq,
+                dst,
+                msg,
+            }));
+        }
+        while let Some(p) = heap.pop() {
+            let e = p.0;
+            if e.at >= end {
+                break;
+            }
+            let model = &mut models[e.dst as usize];
+            model.deliver(e.at, e.src, e.msg);
+            let src = e.dst;
+            for send in model.out.drain(..) {
+                let seq = emit_seq[src as usize];
+                emit_seq[src as usize] += 1;
+                let at = transit.deliver_at(src, &send);
+                heap.push(Pend(Envelope {
+                    at,
+                    src,
+                    seq,
+                    dst: send.dst,
+                    msg: send.msg,
+                }));
+            }
+        }
+        models.into_iter().map(|m| m.log).collect()
+    }
+
+    /// Jittered transit: base latency plus a payload-derived extra delay
+    /// — exercises same-time collisions and out-of-order queueing.
+    struct JitterTransit {
+        base: SimTime,
+        spread_ns: u64,
+    }
+
+    impl Transit<ToyMsg> for JitterTransit {
+        fn deliver_at(&mut self, _src: u32, send: &Outbound<ToyMsg>) -> SimTime {
+            send.sent + self.base + SimTime::from_ns(mix(send.msg.value) % (self.spread_ns + 1))
+        }
+    }
+
+    fn windowed_run(
+        n: u32,
+        workers: usize,
+        seeds: &[(SimTime, u32, u32, ToyMsg)],
+        transit: &mut impl Transit<ToyMsg>,
+        lookahead: SimTime,
+        end: SimTime,
+    ) -> Vec<Vec<u64>> {
+        let hosts = (0..n).map(|i| ToyHost::new(i, n)).collect();
+        let mut ex = FleetExecutor::new(hosts, lookahead, workers);
+        for &(at, src, dst, msg) in seeds {
+            ex.seed_message(at, src, dst, msg);
+        }
+        ex.run_until(end, transit);
+        ex.into_hosts().into_iter().map(|h| h.model.log).collect()
+    }
+
+    fn seeds_for(case: u64, n: u32) -> Vec<(SimTime, u32, u32, ToyMsg)> {
+        let mut s = Vec::new();
+        let k = 2 + (mix(case) % 6);
+        for i in 0..k {
+            let r = mix(case ^ mix(i));
+            s.push((
+                SimTime::from_ns(r % 5_000),
+                (r >> 16) as u32 % n,
+                (r >> 24) as u32 % n,
+                ToyMsg {
+                    value: mix(r),
+                    ttl: 3 + (r % 5) as u32,
+                },
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn matches_merged_clock_reference_uniform() {
+        let (n, l, end) = (5u32, SimTime::from_us(2), SimTime::from_ms(1));
+        for case in 0..40u64 {
+            let seeds = seeds_for(case, n);
+            let reference = reference_run(n, &seeds, &mut UniformTransit { latency: l }, end);
+            let windowed = windowed_run(n, 1, &seeds, &mut UniformTransit { latency: l }, l, end);
+            assert_eq!(reference, windowed, "case {case}");
+        }
+    }
+
+    #[test]
+    fn matches_merged_clock_reference_with_queueing_jitter() {
+        let (n, l, end) = (4u32, SimTime::from_us(3), SimTime::from_ms(1));
+        for case in 0..40u64 {
+            let seeds = seeds_for(case ^ 0xabcd, n);
+            let mut t1 = JitterTransit {
+                base: l,
+                spread_ns: 2_500,
+            };
+            let mut t2 = JitterTransit {
+                base: l,
+                spread_ns: 2_500,
+            };
+            let reference = reference_run(n, &seeds, &mut t1, end);
+            let windowed = windowed_run(n, 1, &seeds, &mut t2, l, end);
+            assert_eq!(reference, windowed, "case {case}");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let (n, l, end) = (8u32, SimTime::from_us(2), SimTime::from_ms(2));
+        let seeds = seeds_for(7, n);
+        let base = windowed_run(n, 1, &seeds, &mut UniformTransit { latency: l }, l, end);
+        for workers in [2usize, 4, 8] {
+            let par = windowed_run(
+                n,
+                workers,
+                &seeds,
+                &mut UniformTransit { latency: l },
+                l,
+                end,
+            );
+            assert_eq!(base, par, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn stats_count_windows_events_and_messages() {
+        let (n, l, end) = (3u32, SimTime::from_us(10), SimTime::from_us(100));
+        let hosts = (0..n).map(|i| ToyHost::new(i, n)).collect();
+        let mut ex = FleetExecutor::new(hosts, l, 1);
+        ex.seed_message(SimTime::from_ns(50), 0, 1, ToyMsg { value: 9, ttl: 2 });
+        let stats = ex.run_until(end, &mut UniformTransit { latency: l });
+        assert_eq!(stats.windows, 10);
+        // Seed + two TTL hops, all delivered before `end`.
+        assert_eq!(stats.messages, 3);
+        assert_eq!(stats.events, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead contract")]
+    fn transit_below_lookahead_is_rejected() {
+        struct TooFast;
+        impl Transit<ToyMsg> for TooFast {
+            fn deliver_at(&mut self, _src: u32, send: &Outbound<ToyMsg>) -> SimTime {
+                send.sent + SimTime::from_ns(1)
+            }
+        }
+        let hosts = vec![ToyHost::new(0, 2), ToyHost::new(1, 2)];
+        let mut ex = FleetExecutor::new(hosts, SimTime::from_us(1), 1);
+        ex.seed_message(SimTime::from_ns(10), 0, 1, ToyMsg { value: 1, ttl: 1 });
+        ex.run_until(SimTime::from_us(50), &mut TooFast);
+    }
+}

@@ -44,6 +44,7 @@
 pub mod cpu;
 pub mod dist;
 pub mod engine;
+pub mod fleet;
 pub mod par;
 pub mod stats;
 pub mod time;

@@ -103,6 +103,15 @@ impl Histogram {
         self.total == 0
     }
 
+    /// Number of recorded values at or below `limit` (SLO attainment
+    /// counting), at bucket granularity — the same ~3% relative error
+    /// as [`quantile`](Self::quantile); the bucket containing `limit`
+    /// counts as attained in full.
+    pub fn count_at_or_below(&self, limit: SimTime) -> u64 {
+        let idx = Self::index_for(limit.as_ns());
+        self.counts[..=idx].iter().sum()
+    }
+
     /// Exact minimum recorded value, or 0 if empty.
     pub fn min(&self) -> u64 {
         if self.total == 0 {
@@ -161,6 +170,19 @@ impl Histogram {
         }
     }
 
+    /// Probes the standard quantile ladder ([`QUANTILE_LADDER`]) for
+    /// CDF-style reporting: `(quantile, value)` pairs, ascending.
+    /// Empty histograms yield an empty ladder.
+    pub fn ladder(&self) -> Vec<(f64, SimTime)> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        QUANTILE_LADDER
+            .iter()
+            .map(|&q| (q, SimTime::from_ns(self.quantile(q))))
+            .collect()
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -174,6 +196,10 @@ impl Histogram {
         }
     }
 }
+
+/// The standard quantile ladder used for CDF-style latency reporting
+/// (the `wave-lab` report helper renders it as an ASCII CDF).
+pub const QUANTILE_LADDER: [f64; 8] = [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999];
 
 /// Percentile summary of a [`Histogram`].
 #[derive(Debug, Clone, Copy, PartialEq)]

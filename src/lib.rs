@@ -19,6 +19,8 @@
 //! * [`memmgr`] — the memory-management substrate plus the SOL
 //!   Thompson-sampling tiering policy.
 //! * [`rpc`] — the Stubby-style RPC stack substrate with packet steering.
+//! * [`fleet`] — a simulated datacenter of Wave hosts: fat-tree fabric,
+//!   fleet load balancing, and the conservative parallel executor.
 //! * [`kvstore`] — the RocksDB-like µs-scale workload and load generators.
 //! * [`lab`] — the experiment harness that regenerates every table and
 //!   figure of the paper's evaluation.
@@ -35,6 +37,7 @@
 //! ```
 
 pub use wave_core as core;
+pub use wave_fleet as fleet;
 pub use wave_ghost as ghost;
 pub use wave_kvstore as kvstore;
 pub use wave_lab as lab;
